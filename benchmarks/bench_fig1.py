@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 1 (TN/FN score distributions over epochs).
+
+Shape assertions: by the end of training false negatives stochastically
+dominate true negatives, and the separation has grown relative to epoch 0.
+"""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1(benchmark, scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig1(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("fig1", result.format())
+
+    separations = result.separation_series()
+    dominance = result.dominance_series()
+
+    first_epoch, first_separation = separations[0]
+    last_epoch, last_separation = separations[-1]
+    assert last_epoch > first_epoch
+
+    # The separation grows as training progresses (Fig. 1's message).
+    assert last_separation > first_separation
+    assert last_separation > 0.0
+
+    # FN scores dominate TN scores by the end: P(FN > TN) > 0.55.
+    assert dominance[-1][1] > 0.55

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 2 (theoretical TN/FN distributions)."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark, save_artifact):
+    result = benchmark.pedantic(lambda: run_fig2(), rounds=1, iterations=1)
+    save_artifact("fig2", result.format())
+
+    for family, curve in result.curves.items():
+        # Proposition 0.1 — valid densities.
+        assert abs(curve.tn_integral - 1.0) < 1e-5, family
+        assert abs(curve.fn_integral - 1.0) < 1e-5, family
+        # The FN distribution sits strictly above the TN one.
+        assert curve.separation > 0, family
+        # Densities evaluated on the grid are non-negative.
+        assert (curve.tn_pdf >= 0).all() and (curve.fn_pdf >= 0).all(), family

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 3 (the unbias posterior surface)."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark, save_artifact):
+    result = benchmark.pedantic(lambda: run_fig3(n_points=101), rounds=1, iterations=1)
+    save_artifact("fig3", result.format())
+
+    assert result.in_unit_interval()
+    assert result.is_decreasing_in_cdf()
+    assert result.is_decreasing_in_prior()

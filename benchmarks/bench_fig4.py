@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 4 (sampling quality: TNR and INF per epoch).
+
+Shape assertions (paper §IV-B2): the posterior criterion attains the best
+TNR, hard samplers (AOBPR/DNS) the worst, and the static samplers hover
+near the uniform base rate.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import FIG4_SAMPLERS, run_fig4
+
+
+def test_fig4(benchmark, scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_fig4(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("fig4", result.format())
+
+    late = result.late_tnr(tail=5)
+
+    # The posterior criterion (Eq. 35) is the best negative classifier.
+    hard = min(late["aobpr"], late["dns"])
+    assert late["bns-posterior"] >= late["rns"]
+    assert late["bns-posterior"] > hard
+
+    # Hard samplers suffer the most false negatives once the model ranks.
+    assert hard <= late["rns"]
+
+    # Static samplers track the uniform base rate.
+    assert abs(late["rns"] - result.base_rate) < 0.05
+
+    # INF decreases as the model learns (all samplers).
+    for name in FIG4_SAMPLERS:
+        series = result.inf[name]
+        assert series[-3:].mean() < series[:3].mean()

@@ -1,0 +1,49 @@
+"""Micro-benchmarks: per-sampler sampling throughput.
+
+These time the inner operation every experiment pays for — drawing one
+negative per positive for a user — and empirically check the paper's
+complexity claim for BNS (linear in the candidate-set size on top of one
+score-vector pass).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.models.mf import MatrixFactorization
+from repro.samplers.variants import make_sampler
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = load_dataset("ml-100k-small", seed=0)
+    model = MatrixFactorization(
+        dataset.n_users, dataset.n_items, n_factors=32, seed=0
+    )
+    user = int(dataset.trainable_users()[0])
+    pos_items = np.repeat(dataset.train.items_of(user)[:1], 64)
+    scores = model.scores(user)
+    return dataset, model, user, pos_items, scores
+
+
+@pytest.mark.parametrize(
+    "name", ["rns", "pns", "aobpr", "dns", "srns", "bns", "bns-posterior"]
+)
+def test_sampler_throughput(benchmark, setup, name):
+    dataset, model, user, pos_items, scores = setup
+    sampler = make_sampler(name)
+    sampler.bind(dataset, model, seed=0)
+    sampler.on_epoch_start(0)
+    passed_scores = scores if sampler.needs_scores else None
+    out = benchmark(sampler.sample_for_user, user, pos_items, passed_scores)
+    assert out.shape == pos_items.shape
+
+
+@pytest.mark.parametrize("m", [2, 8, 32])
+def test_bns_linear_in_candidate_set(benchmark, setup, m):
+    """BNS cost per draw grows (at most) linearly with |M_u|."""
+    dataset, model, user, pos_items, scores = setup
+    sampler = make_sampler("bns", n_candidates=m)
+    sampler.bind(dataset, model, seed=0)
+    out = benchmark(sampler.sample_for_user, user, pos_items, scores)
+    assert out.shape == pos_items.shape

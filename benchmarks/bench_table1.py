@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (dataset statistics)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("table1", result.format())
+
+    rows = {row["dataset"]: row for row in result.rows()}
+    for row in rows.values():
+        # The 80/20 protocol must hold on every dataset we generate.
+        total = row["train"] + row["test"]
+        assert 0.75 <= row["train"] / total <= 0.85

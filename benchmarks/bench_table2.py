@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table II (recommendation performance).
+
+The full grid — {RNS, PNS, AOBPR, DNS, SRNS, BNS} × {MF, LightGCN} — on
+the calibrated ML-100K equivalent.  Shape assertions follow the paper:
+BNS beats RNS/PNS/SRNS, and PNS is the weakest method.
+"""
+
+from repro.experiments.table2 import SAMPLERS, run_table2
+
+
+def test_table2(benchmark, scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            scale=scale, seed=0, datasets=("ml-100k",), models=("mf", "lightgcn")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.format() + "\n\n" + "\n".join(result.shape_checks("ndcg@20"))
+    save_artifact("table2", text)
+
+    for model in ("mf", "lightgcn"):
+        group = result.group("ml-100k", model)
+        assert set(group) == set(SAMPLERS)
+        # Headline orderings (paper §IV-B1).
+        assert group["bns"]["ndcg@20"] >= group["pns"]["ndcg@20"], model
+        assert group["bns"]["ndcg@20"] >= group["rns"]["ndcg@20"] - 0.01, model
+        assert group["rns"]["ndcg@20"] > group["pns"]["ndcg@20"], model
+        # BNS is the best or near-best method of the six.
+        best = max(group.values(), key=lambda m: m["ndcg@20"])["ndcg@20"]
+        assert group["bns"]["ndcg@20"] >= best - 0.02, model

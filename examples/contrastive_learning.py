@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""BNS beyond recommendation: Bayesian negative mining for contrastive learning.
+
+The paper's conclusion proposes generalizing BNS to contrastive methods.
+This example runs that generalization on a planted-class augmented-views
+task:
+
+* anchors/positives are two noisy views of the same class sample;
+* the candidate pool mixes all classes — entries sharing the anchor's
+  class are *false negatives* (pushing them away destroys the class
+  structure), the exact analogue of un-interacted-but-liked items in CF;
+* three miners are compared: uniform (RNS analogue), hardest-similarity
+  (DNS analogue), and the Bayesian risk-minimizing miner (BNS, Eq. 32
+  applied to similarity scores with the class base-rate prior).
+
+Reported per miner: mined false-negative rate, Wang-Isola alignment and
+uniformity of the learned embeddings, and nearest-prototype accuracy.
+
+Run:  python examples/contrastive_learning.py
+"""
+
+from repro.contrastive import (
+    AugmentedViewsTask,
+    BayesianMiner,
+    ContrastiveTrainer,
+    HardestMiner,
+    LinearEncoder,
+    UniformMiner,
+    alignment,
+    prototype_accuracy,
+    uniformity,
+)
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    task = AugmentedViewsTask(n_classes=8, n_features=32, noise=0.3)
+    anchors, positives, pool, anchor_labels, pool_labels = task.sample(
+        n_pairs=120, n_pool=240, seed=0
+    )
+    base_rate = task.false_negative_rate()
+    print(
+        f"Task: {task.n_classes} classes, pool of {pool.shape[0]} candidates, "
+        f"FN base rate = {base_rate:.3f}\n"
+    )
+
+    miners = (
+        UniformMiner(seed=1),
+        HardestMiner(seed=1),
+        BayesianMiner(prior_fn=base_rate, weight=5.0, seed=1),
+    )
+    rows = []
+    for miner in miners:
+        encoder = LinearEncoder(task.n_features, 16, seed=2)
+        trainer = ContrastiveTrainer(
+            encoder, miner, n_negatives=8, temperature=0.5, lr=0.05, seed=3
+        )
+        history = trainer.fit(
+            anchors,
+            positives,
+            pool,
+            epochs=12,
+            anchor_labels=anchor_labels,
+            pool_labels=pool_labels,
+        )
+        anchor_embed = encoder.encode(anchors)
+        positive_embed = encoder.encode(positives)
+        prototypes = encoder.encode(task.prototypes(seed=0))
+        rows.append(
+            {
+                "miner": miner.name,
+                "mined FN rate": history[-1].false_negative_rate,
+                "alignment": alignment(anchor_embed, positive_embed),
+                "uniformity": uniformity(anchor_embed),
+                "probe acc": prototype_accuracy(
+                    anchor_embed, anchor_labels, prototypes
+                ),
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            ["miner", "mined FN rate", "alignment", "uniformity", "probe acc"],
+            title="Contrastive learning with three negative-mining policies",
+        )
+    )
+    print(
+        "\nReading the table: the hardest miner's FN rate explodes above the"
+        f"\nbase rate ({base_rate:.3f}) — it actively selects same-class"
+        "\nentries; the Bayesian miner stays below it while matching or"
+        "\nbeating accuracy, mirroring the paper's Fig. 4 in a new domain."
+    )
+
+
+if __name__ == "__main__":
+    main()

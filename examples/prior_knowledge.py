@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""How prior quality changes Bayesian negative sampling (Tables III & IV).
+
+BNS combines two signals: the model's score rank (sample information) and a
+prior probability that an item is a false negative.  This example walks the
+prior ladder on one dataset:
+
+  uniform (non-informative, BNS-3)  →  popularity (Eq. 17, standard BNS)
+  →  occupation-enhanced (BNS-4)    →  oracle (ground-truth labels)
+
+and then sweeps the candidate-set size |M_u| under the oracle prior,
+reproducing the paper's "asymptotic process to the optimal sampler"
+(Table IV): with a reliable prior, bigger candidate sets are strictly
+better; with a noisy prior they amplify its bias.
+
+Run:  python examples/prior_knowledge.py [--scale bench|unit]
+"""
+
+import argparse
+
+from repro.data.registry import load_dataset
+from repro.experiments.config import RunSpec, scale_preset
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_spec
+from repro.experiments.table4 import run_table4
+
+
+def run_prior(dataset, dataset_name, name, scale, seed):
+    preset = scale_preset(scale)
+    spec = RunSpec(
+        dataset=dataset_name,
+        sampler=name,
+        epochs=preset.epochs,
+        batch_size=preset.batch_size,
+        lr=preset.lr,
+        seed=seed,
+    )
+    result = run_spec(spec, dataset, record_sampling_quality=True)
+    return {
+        "ndcg@20": result.metrics["ndcg@20"],
+        "late TNR": float(result.sampling_quality.tnr_series[-5:].mean()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("unit", "bench"), default="bench")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    preset = scale_preset(args.scale)
+    dataset_name = "tiny" if args.scale == "unit" else "ml-100k" + preset.dataset_suffix
+    dataset = load_dataset(dataset_name, seed=args.seed)
+
+    print(f"Prior ladder on {dataset.name} (MF, BNS sampler)\n")
+    ladder = {
+        "uniform (BNS-3)": run_prior(dataset, dataset_name, "bns-3", args.scale, args.seed),
+        "popularity (BNS)": run_prior(dataset, dataset_name, "bns", args.scale, args.seed),
+        "occupation (BNS-4)": run_prior(dataset, dataset_name, "bns-4", args.scale, args.seed),
+        "oracle": run_prior(dataset, dataset_name, "bns-oracle", args.scale, args.seed),
+    }
+    rows = [{"prior": name, **metrics} for name, metrics in ladder.items()]
+    print(format_table(rows, ["prior", "ndcg@20", "late TNR"],
+                       title="Prior quality ladder"))
+
+    print("\nAsymptotic sweep of |Mu| under the oracle prior (Table IV):\n")
+    table4 = run_table4(
+        scale=args.scale,
+        seed=args.seed,
+        dataset_name="tiny" if args.scale == "unit" else "ml-100k",
+        sizes=(1, 3, 5, 10, "all"),
+    )
+    rows = [
+        {"|Mu|": size, "ndcg@20": value}
+        for size, value in table4.series("ndcg@20")
+    ]
+    print(format_table(rows, ["|Mu|", "ndcg@20"],
+                       title="Oracle-prior candidate-set sweep"))
+    print(
+        "\nTakeaway: invest in the prior.  With ground-truth-quality priors"
+        "\nthe optimal sampler (|Mu| = all) is strictly better; with noisy"
+        "\npriors, keep |Mu| moderate (the paper recommends 5-10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``
+    Names accepted by ``--dataset`` everywhere.
+``train``
+    One training run (dataset × model × sampler) with final metrics.
+``experiment``
+    Regenerate one of the paper's artifacts (table1..4, fig1..5) at a
+    chosen scale and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.data.registry import available_datasets
+from repro.utils.logging import enable_console_logging
+
+__all__ = ["main", "build_parser"]
+
+#: Artifact name → runner import path (lazy: importing the experiments
+#: package pulls the training stack, which list-datasets doesn't need).
+_ARTIFACTS = ("table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bayesian Negative Sampling (ICDE 2023) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log progress to stderr"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-datasets", help="list dataset names")
+
+    train = commands.add_parser("train", help="run one training configuration")
+    train.add_argument("--dataset", default="tiny")
+    train.add_argument("--model", choices=("mf", "lightgcn"), default="mf")
+    train.add_argument("--sampler", default="bns")
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--batch-size", type=int, default=16)
+    train.add_argument("--lr", type=float, default=0.02)
+    train.add_argument("--reg", type=float, default=0.01)
+    train.add_argument("--factors", type=int, default=32)
+    train.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper artifact"
+    )
+    experiment.add_argument("artifact", choices=_ARTIFACTS)
+    experiment.add_argument(
+        "--scale", choices=("unit", "bench", "paper"), default="bench"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list_datasets(args: argparse.Namespace) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments.config import RunSpec
+    from repro.experiments.runner import run_spec
+
+    spec = RunSpec(
+        dataset=args.dataset,
+        model=args.model,
+        sampler=args.sampler,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        reg=args.reg,
+        n_factors=args.factors,
+        seed=args.seed,
+    )
+    result = run_spec(spec)
+    print(f"run: {spec.label()} (epochs={spec.epochs}, lr={spec.lr})")
+    for key in sorted(result.metrics):
+        print(f"  {key:<14} {result.metrics[key]:.4f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    runner = getattr(experiments, f"run_{args.artifact}")
+    if args.artifact in ("fig2", "fig3"):
+        result = runner()  # analytic artifacts take no scale
+    else:
+        result = runner(scale=args.scale, seed=args.seed)
+    print(result.format())
+    return 0
+
+
+_HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "list-datasets": _cmd_list_datasets,
+    "train": _cmd_train,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""BNS generalized to contrastive representation learning.
+
+The paper's conclusion names this as future work: "generalize BNS to
+contrastive-based learning methods".  The mapping is direct — §II already
+notes that the pairwise CF objective and the InfoNCE objective share the
+same structure (anchor ↔ user embedding, positive ↔ interacted item,
+negatives ↔ unlabeled pool), and that the order relation of Eq. 6 holds
+for any contrastively-trained score function.
+
+This subpackage implements that generalization end-to-end:
+
+* :mod:`repro.contrastive.loss` — InfoNCE with analytic gradients;
+* :mod:`repro.contrastive.miner` — negative miners over a candidate pool:
+  uniform, hardest-similarity, and the Bayesian risk-minimizing miner
+  (Eq. 32 applied to similarity scores with a class-frequency prior);
+* :mod:`repro.contrastive.encoder` — a linear encoder + training loop;
+* :mod:`repro.contrastive.synthetic` — an augmented-views benchmark task
+  with planted classes, where same-class pool entries are the false
+  negatives, plus alignment/uniformity and probe metrics.
+"""
+
+from repro.contrastive.encoder import ContrastiveTrainer, LinearEncoder
+from repro.contrastive.loss import info_nce_gradients, info_nce_loss
+from repro.contrastive.miner import (
+    BayesianMiner,
+    HardestMiner,
+    NegativeMiner,
+    UniformMiner,
+)
+from repro.contrastive.synthetic import (
+    AugmentedViewsTask,
+    alignment,
+    prototype_accuracy,
+    uniformity,
+)
+
+__all__ = [
+    "AugmentedViewsTask",
+    "BayesianMiner",
+    "ContrastiveTrainer",
+    "HardestMiner",
+    "LinearEncoder",
+    "NegativeMiner",
+    "UniformMiner",
+    "alignment",
+    "info_nce_gradients",
+    "info_nce_loss",
+    "prototype_accuracy",
+    "uniformity",
+]

@@ -1,0 +1,150 @@
+"""Negative miners for contrastive learning.
+
+A miner selects ``n_negatives`` entries from a candidate pool for each
+(anchor, positive) pair.  Three policies mirror the paper's CF samplers:
+
+* :class:`UniformMiner` — RNS's analogue;
+* :class:`HardestMiner` — DNS's analogue: highest anchor-similarity
+  candidates (known to suffer false negatives — pool entries of the
+  anchor's own class);
+* :class:`BayesianMiner` — BNS's analogue (Eq. 32 on similarity scores):
+  ``argmin info·[1 − (1+λ)·unbias]`` where ``F`` is the empirical CDF of
+  the candidate's similarity within the pool and the prior is the class
+  base rate (the probability a random pool entry shares the anchor's
+  class — exactly the PU-learning prior of the original formulation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.core.empirical import empirical_cdf_at
+from repro.core.risk import conditional_sampling_risk
+from repro.core.unbiasedness import unbias
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["NegativeMiner", "UniformMiner", "HardestMiner", "BayesianMiner"]
+
+
+class NegativeMiner(ABC):
+    """Select negative indices from a pool of candidate embeddings."""
+
+    name: str = "miner"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_rng(seed)
+
+    @abstractmethod
+    def select(
+        self,
+        anchor: np.ndarray,
+        pool: np.ndarray,
+        n_negatives: int,
+    ) -> np.ndarray:
+        """Indices into ``pool`` (shape ``(n_negatives,)``)."""
+
+    def _check(self, pool: np.ndarray, n_negatives: int) -> np.ndarray:
+        pool = np.atleast_2d(np.asarray(pool, dtype=np.float64))
+        if n_negatives < 1:
+            raise ValueError(f"n_negatives must be >= 1, got {n_negatives}")
+        if pool.shape[0] < n_negatives:
+            raise ValueError(
+                f"pool of {pool.shape[0]} cannot supply {n_negatives} negatives"
+            )
+        return pool
+
+
+class UniformMiner(NegativeMiner):
+    """Uniform sampling from the pool (without replacement)."""
+
+    name = "uniform"
+
+    def select(
+        self, anchor: np.ndarray, pool: np.ndarray, n_negatives: int
+    ) -> np.ndarray:
+        pool = self._check(pool, n_negatives)
+        return self._rng.choice(pool.shape[0], size=n_negatives, replace=False)
+
+
+class HardestMiner(NegativeMiner):
+    """Top-similarity candidates — the hard-negative policy."""
+
+    name = "hardest"
+
+    def select(
+        self, anchor: np.ndarray, pool: np.ndarray, n_negatives: int
+    ) -> np.ndarray:
+        pool = self._check(pool, n_negatives)
+        similarities = pool @ np.asarray(anchor, dtype=np.float64).ravel()
+        return np.argpartition(-similarities, n_negatives - 1)[:n_negatives]
+
+
+class BayesianMiner(NegativeMiner):
+    """Risk-minimizing Bayesian mining (Eq. 32 on similarity scores).
+
+    Parameters
+    ----------
+    prior_fn:
+        Prior probability that a random pool entry is a false negative
+        (same class as the anchor).  A scalar — the class base rate —
+        or a per-candidate array supplied at :meth:`select` time via
+        ``prior_override``.
+    weight:
+        The λ trade-off (paper default 5).
+    temperature:
+        Similarity temperature for the informativeness term.
+    """
+
+    name = "bayesian"
+
+    def __init__(
+        self,
+        prior_fn: float = 0.1,
+        weight: float = 5.0,
+        temperature: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        self.prior_fn = check_probability(prior_fn, "prior_fn")
+        self.weight = check_non_negative(weight, "weight")
+        self.temperature = temperature
+
+    def select(
+        self,
+        anchor: np.ndarray,
+        pool: np.ndarray,
+        n_negatives: int,
+        positive: Optional[np.ndarray] = None,
+        prior_override: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        pool = self._check(pool, n_negatives)
+        anchor = np.asarray(anchor, dtype=np.float64).ravel()
+        similarities = pool @ anchor
+
+        cdf = empirical_cdf_at(similarities, similarities)
+        prior = (
+            np.full(pool.shape[0], self.prior_fn)
+            if prior_override is None
+            else np.asarray(prior_override, dtype=np.float64)
+        )
+        posterior = unbias(cdf, prior)
+
+        # Informativeness: the negative's pull on the anchor, which for
+        # InfoNCE grows with its similarity relative to the positive's.
+        if positive is not None:
+            positive_similarity = float(anchor @ np.asarray(positive).ravel())
+        else:
+            positive_similarity = float(similarities.max())
+        from repro.train.loss import informativeness
+
+        info = informativeness(
+            np.full(pool.shape[0], positive_similarity) / self.temperature,
+            similarities / self.temperature,
+        )
+
+        risk = conditional_sampling_risk(info, posterior, self.weight)
+        return np.argpartition(risk, n_negatives - 1)[:n_negatives]

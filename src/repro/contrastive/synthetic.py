@@ -1,0 +1,118 @@
+"""A planted-class augmented-views task for contrastive experiments.
+
+The task: ``n_classes`` prototype directions; each sample is a noisy copy
+of its class prototype and an "augmented view" is a second noisy copy.
+Pool entries sharing the anchor's class are the task's *false negatives* —
+pushing them away destroys exactly the structure the encoder should learn,
+the same pathology the paper studies in CF.
+
+Quality is measured with the alignment/uniformity pair of Wang & Isola
+(ICML 2020) — the decomposition the paper cites when connecting BNS to
+contrastive learning — plus nearest-prototype accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["AugmentedViewsTask", "alignment", "uniformity", "prototype_accuracy"]
+
+
+@dataclass(frozen=True)
+class AugmentedViewsTask:
+    """Generator of (anchor, positive view, pool) contrastive data.
+
+    Attributes
+    ----------
+    n_classes, n_features:
+        Number of planted classes and the ambient feature dimension.
+    noise:
+        Std of the isotropic noise added around each prototype.
+    """
+
+    n_classes: int = 8
+    n_features: int = 32
+    noise: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_classes, "n_classes")
+        check_positive(self.n_features, "n_features")
+        check_non_negative(self.noise, "noise")
+        if self.n_features < self.n_classes:
+            raise ValueError(
+                "n_features must be >= n_classes for orthogonal prototypes"
+            )
+
+    def prototypes(self, seed: SeedLike = 0) -> np.ndarray:
+        """Orthonormal class prototypes, shape ``(n_classes, n_features)``."""
+        rng = as_rng(seed)
+        raw = rng.normal(size=(self.n_features, self.n_classes))
+        q, _ = np.linalg.qr(raw)
+        return q.T[: self.n_classes]
+
+    def sample(
+        self,
+        n_pairs: int,
+        n_pool: int,
+        seed: SeedLike = 0,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``(anchors, positives, pool, anchor_labels, pool_labels)``.
+
+        Anchors and positives are two independent noisy views of the same
+        class sample; pool entries are fresh samples of random classes.
+        """
+        check_positive(n_pairs, "n_pairs")
+        check_positive(n_pool, "n_pool")
+        rng = as_rng(seed)
+        prototypes = self.prototypes(rng)
+
+        anchor_labels = rng.integers(self.n_classes, size=n_pairs)
+        base = prototypes[anchor_labels]
+        anchors = base + rng.normal(0.0, self.noise, size=base.shape)
+        positives = base + rng.normal(0.0, self.noise, size=base.shape)
+
+        pool_labels = rng.integers(self.n_classes, size=n_pool)
+        pool = prototypes[pool_labels] + rng.normal(
+            0.0, self.noise, size=(n_pool, self.n_features)
+        )
+        return anchors, positives, pool, anchor_labels, pool_labels
+
+    def false_negative_rate(self) -> float:
+        """Base rate: probability a random pool entry shares the class."""
+        return 1.0 / self.n_classes
+
+
+def alignment(anchor_embeddings: np.ndarray, positive_embeddings: np.ndarray) -> float:
+    """Wang–Isola alignment: ``E ‖e_a − e_p‖²`` (lower is better)."""
+    a = np.atleast_2d(anchor_embeddings)
+    p = np.atleast_2d(positive_embeddings)
+    if a.shape != p.shape:
+        raise ValueError("anchor and positive embeddings must be parallel")
+    return float(np.sum((a - p) ** 2, axis=1).mean())
+
+
+def uniformity(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """Wang–Isola uniformity: ``log E exp(−t‖e_i − e_j‖²)`` (lower is better)."""
+    e = np.atleast_2d(embeddings)
+    if e.shape[0] < 2:
+        raise ValueError("uniformity needs at least two embeddings")
+    squared = np.sum((e[:, None, :] - e[None, :, :]) ** 2, axis=2)
+    upper = squared[np.triu_indices(e.shape[0], k=1)]
+    return float(np.log(np.exp(-t * upper).mean()))
+
+
+def prototype_accuracy(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    encoded_prototypes: np.ndarray,
+) -> float:
+    """Nearest-encoded-prototype classification accuracy of embeddings."""
+    embeddings = np.atleast_2d(embeddings)
+    predictions = np.argmax(embeddings @ encoded_prototypes.T, axis=1)
+    return float((predictions == np.asarray(labels)).mean())

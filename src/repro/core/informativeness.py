@@ -1,0 +1,11 @@
+"""Informativeness measure ``info(l)`` (Eq. 4).
+
+Re-exported from :mod:`repro.train.loss` so the core package exposes the
+paper's full vocabulary — informativeness *is* the BPR gradient magnitude,
+and keeping one implementation guarantees the sampler and the trainer agree
+on it.
+"""
+
+from repro.train.loss import informativeness
+
+__all__ = ["informativeness"]

@@ -1,0 +1,278 @@
+"""Binary user-item interaction matrix.
+
+:class:`InteractionMatrix` is the data structure every other part of the
+library consumes: samplers read per-user positive sets and item popularity
+from it, models read its shape, the trainer iterates its (user, item) pairs,
+and the evaluator compares train and test instances.
+
+It is deliberately immutable after construction — training never mutates the
+data — and is backed by a deduplicated, canonically sorted CSR matrix so
+per-user lookups (`items_of`) are O(degree) slices and membership checks are
+O(log degree) binary searches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["InteractionMatrix"]
+
+
+class InteractionMatrix:
+    """Immutable binary user-item interaction matrix.
+
+    Parameters
+    ----------
+    n_users, n_items:
+        Matrix shape.  Ids outside ``[0, n_users) x [0, n_items)`` are
+        rejected.
+    user_ids, item_ids:
+        Parallel integer arrays of interaction pairs.  Duplicate pairs are
+        collapsed to a single interaction (the matrix is binary).
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        n_items: int,
+        user_ids: Iterable[int],
+        item_ids: Iterable[int],
+    ) -> None:
+        if n_users <= 0 or n_items <= 0:
+            raise ValueError(f"matrix shape must be positive, got {n_users}x{n_items}")
+        users = np.asarray(user_ids, dtype=np.int64).ravel()
+        items = np.asarray(item_ids, dtype=np.int64).ravel()
+        if users.shape != items.shape:
+            raise ValueError(
+                f"user_ids and item_ids must be parallel, got lengths "
+                f"{users.size} and {items.size}"
+            )
+        if users.size:
+            if users.min() < 0 or users.max() >= n_users:
+                raise ValueError(
+                    f"user ids must lie in [0, {n_users}), got range "
+                    f"[{users.min()}, {users.max()}]"
+                )
+            if items.min() < 0 or items.max() >= n_items:
+                raise ValueError(
+                    f"item ids must lie in [0, {n_items}), got range "
+                    f"[{items.min()}, {items.max()}]"
+                )
+        matrix = sp.csr_matrix(
+            (np.ones(users.size, dtype=np.int8), (users, items)),
+            shape=(n_users, n_items),
+        )
+        # Collapse duplicate pairs to binary and canonicalize indices.
+        matrix.data[:] = 1
+        matrix.sum_duplicates()
+        matrix.data[:] = 1
+        matrix.sort_indices()
+        self._csr = matrix
+        self._n_users = int(n_users)
+        self._n_items = int(n_items)
+        self._item_popularity = np.asarray(
+            matrix.sum(axis=0), dtype=np.int64
+        ).ravel()
+        self._user_activity = np.asarray(matrix.sum(axis=1), dtype=np.int64).ravel()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, int]],
+        n_users: int,
+        n_items: int,
+    ) -> "InteractionMatrix":
+        """Build from an iterable of ``(user, item)`` tuples."""
+        pair_array = np.asarray(list(pairs), dtype=np.int64)
+        if pair_array.size == 0:
+            pair_array = pair_array.reshape(0, 2)
+        if pair_array.ndim != 2 or pair_array.shape[1] != 2:
+            raise ValueError("pairs must be (user, item) 2-tuples")
+        return cls(n_users, n_items, pair_array[:, 0], pair_array[:, 1])
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "InteractionMatrix":
+        """Build from a dense 0/1 array (mostly useful in tests)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"dense matrix must be 2-D, got {dense.ndim}-D")
+        users, items = np.nonzero(dense)
+        return cls(dense.shape[0], dense.shape[1], users, items)
+
+    @classmethod
+    def from_csr(cls, matrix: sp.spmatrix) -> "InteractionMatrix":
+        """Build from any scipy sparse matrix (nonzeros become interactions)."""
+        coo = matrix.tocoo()
+        return cls(matrix.shape[0], matrix.shape[1], coo.row, coo.col)
+
+    # ------------------------------------------------------------------ #
+    # Shape and counts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_users(self) -> int:
+        """Number of user rows."""
+        return self._n_users
+
+    @property
+    def n_items(self) -> int:
+        """Number of item columns."""
+        return self._n_items
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(n_users, n_items)``."""
+        return (self._n_users, self._n_items)
+
+    @property
+    def n_interactions(self) -> int:
+        """Total number of distinct (user, item) interactions."""
+        return int(self._csr.nnz)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the matrix that is observed."""
+        return self.n_interactions / (self._n_users * self._n_items)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def items_of(self, user: int) -> np.ndarray:
+        """Sorted array of item ids the user interacted with (a view).
+
+        This is the user's positive set :math:`I^+_u`.
+        """
+        self._check_user(user)
+        start, stop = self._csr.indptr[user], self._csr.indptr[user + 1]
+        return self._csr.indices[start:stop]
+
+    def users_of(self, item: int) -> np.ndarray:
+        """Sorted array of user ids that interacted with the item."""
+        if not 0 <= item < self._n_items:
+            raise IndexError(f"item {item} out of range [0, {self._n_items})")
+        csc = self._csc()
+        start, stop = csc.indptr[item], csc.indptr[item + 1]
+        return csc.indices[start:stop]
+
+    def contains(self, user: int, item: int) -> bool:
+        """Membership test: did ``user`` interact with ``item``?"""
+        positives = self.items_of(user)
+        pos = int(np.searchsorted(positives, item))
+        return pos < positives.size and positives[pos] == item
+
+    def negative_mask(self, user: int) -> np.ndarray:
+        """Boolean mask over items, ``True`` where the user has NOT interacted.
+
+        This marks the user's unlabeled set :math:`I^-_u` from which
+        negatives are sampled.
+        """
+        mask = np.ones(self._n_items, dtype=bool)
+        mask[self.items_of(user)] = False
+        return mask
+
+    def degree_of(self, user: int) -> int:
+        """Number of items the user interacted with."""
+        self._check_user(user)
+        return int(self._user_activity[user])
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def item_popularity(self) -> np.ndarray:
+        """Interaction count per item, shape ``(n_items,)`` (a copy)."""
+        return self._item_popularity.copy()
+
+    @property
+    def user_activity(self) -> np.ndarray:
+        """Interaction count per user, shape ``(n_users,)`` (a copy)."""
+        return self._user_activity.copy()
+
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All interactions as parallel ``(user_ids, item_ids)`` arrays."""
+        coo = self._csr.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+
+    def iter_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(user, item)`` interaction tuples."""
+        users, items = self.pairs()
+        for u, i in zip(users.tolist(), items.tolist()):
+            yield u, i
+
+    def tocsr(self) -> sp.csr_matrix:
+        """A copy of the underlying CSR matrix."""
+        return self._csr.copy()
+
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 ``int8`` array (use only on small matrices)."""
+        return np.asarray(self._csr.todense(), dtype=np.int8)
+
+    # ------------------------------------------------------------------ #
+    # Set algebra (used by splits and evaluation)
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "InteractionMatrix") -> "InteractionMatrix":
+        """Interactions present in either matrix (shapes must match)."""
+        self._check_same_shape(other)
+        su, si = self.pairs()
+        ou, oi = other.pairs()
+        return InteractionMatrix(
+            self._n_users,
+            self._n_items,
+            np.concatenate([su, ou]),
+            np.concatenate([si, oi]),
+        )
+
+    def intersects(self, other: "InteractionMatrix") -> bool:
+        """Whether any interaction appears in both matrices."""
+        self._check_same_shape(other)
+        return bool(self._csr.multiply(other._csr).nnz)
+
+    # ------------------------------------------------------------------ #
+    # Dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InteractionMatrix):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        return (self._csr != other._csr).nnz == 0
+
+    def __hash__(self) -> int:  # immutable by convention, allow set membership
+        return hash((self.shape, self.n_interactions))
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionMatrix(n_users={self._n_users}, n_items={self._n_items}, "
+            f"n_interactions={self.n_interactions})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _csc(self) -> sp.csc_matrix:
+        cached = getattr(self, "_csc_cache", None)
+        if cached is None:
+            cached = self._csr.tocsc()
+            cached.sort_indices()
+            self._csc_cache = cached
+        return cached
+
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self._n_users:
+            raise IndexError(f"user {user} out of range [0, {self._n_users})")
+
+    def _check_same_shape(self, other: "InteractionMatrix") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")

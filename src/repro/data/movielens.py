@@ -1,0 +1,145 @@
+"""Parsers for the MovieLens-100K and MovieLens-1M raw file formats.
+
+These read the exact on-disk formats published by GroupLens:
+
+* ML-100K: ``u.data`` — tab-separated ``user  item  rating  timestamp``
+  with 1-based ids; ``u.user`` — pipe-separated
+  ``user|age|gender|occupation|zip`` (occupations as strings);
+* ML-1M: ``ratings.dat`` — ``user::item::rating::timestamp``.
+
+The parsers are exercised against miniature fixture files in tests; at
+run time :mod:`repro.data.registry` uses them whenever the real files are
+found under the configured data directory, and otherwise falls back to the
+calibrated synthetic generator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.ratings import RatingLog
+
+__all__ = ["load_ml100k", "load_ml1m", "parse_rating_lines"]
+
+PathLike = Union[str, Path]
+
+#: Canonical ML-100K universe sizes (ids in the files are 1-based and dense).
+ML100K_USERS = 943
+ML100K_ITEMS = 1682
+
+#: Canonical ML-1M universe sizes.  Item ids are 1-based but *sparse*
+#: (3952 is the max id; some ids are unused) — we keep the published
+#: universe so popularity vectors have the documented length.
+ML1M_USERS = 6040
+ML1M_ITEMS = 3952
+
+
+def parse_rating_lines(
+    lines,
+    separator: str,
+    *,
+    source: str = "<ratings>",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse rating lines of the form ``user<sep>item<sep>rating[<sep>ts]``.
+
+    Returns 0-based ``(user_ids, item_ids, ratings)`` arrays.  Blank lines
+    are skipped; malformed lines raise ``ValueError`` naming the source and
+    line number.
+    """
+    users: List[int] = []
+    items: List[int] = []
+    ratings: List[float] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split(separator)
+        if len(parts) < 3:
+            raise ValueError(
+                f"{source}:{lineno}: expected >=3 fields separated by "
+                f"{separator!r}, got {len(parts)}"
+            )
+        try:
+            users.append(int(parts[0]) - 1)
+            items.append(int(parts[1]) - 1)
+            ratings.append(float(parts[2]))
+        except ValueError as exc:
+            raise ValueError(f"{source}:{lineno}: malformed fields: {exc}") from exc
+    return (
+        np.asarray(users, dtype=np.int64),
+        np.asarray(items, dtype=np.int64),
+        np.asarray(ratings, dtype=np.float64),
+    )
+
+
+def _parse_ml100k_users(path: Path) -> Tuple[np.ndarray, tuple]:
+    """Parse ``u.user`` into (occupation ids per user, occupation names)."""
+    occupations_raw: Dict[int, str] = {}
+    with path.open("r", encoding="latin-1") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            parts = line.split("|")
+            if len(parts) < 4:
+                raise ValueError(
+                    f"{path}:{lineno}: expected user|age|gender|occupation|zip"
+                )
+            occupations_raw[int(parts[0]) - 1] = parts[3]
+    names = tuple(sorted(set(occupations_raw.values())))
+    index = {name: k for k, name in enumerate(names)}
+    occ = np.zeros(ML100K_USERS, dtype=np.int64)
+    for user, name in occupations_raw.items():
+        if 0 <= user < ML100K_USERS:
+            occ[user] = index[name]
+    return occ, names
+
+
+def load_ml100k(directory: PathLike) -> RatingLog:
+    """Load MovieLens-100K from ``u.data`` (+ ``u.user`` when present)."""
+    directory = Path(directory)
+    data_path = directory / "u.data"
+    if not data_path.exists():
+        raise FileNotFoundError(f"MovieLens-100K file not found: {data_path}")
+    with data_path.open("r", encoding="latin-1") as handle:
+        users, items, ratings = parse_rating_lines(
+            handle, "\t", source=str(data_path)
+        )
+    occupations: Optional[np.ndarray] = None
+    occupation_names: Optional[tuple] = None
+    user_path = directory / "u.user"
+    if user_path.exists():
+        occupations, occupation_names = _parse_ml100k_users(user_path)
+    return RatingLog(
+        n_users=ML100K_USERS,
+        n_items=ML100K_ITEMS,
+        user_ids=users,
+        item_ids=items,
+        ratings=ratings,
+        user_occupations=occupations,
+        occupation_names=occupation_names,
+        name="ml-100k",
+    )
+
+
+def load_ml1m(directory: PathLike) -> RatingLog:
+    """Load MovieLens-1M from ``ratings.dat``."""
+    directory = Path(directory)
+    data_path = directory / "ratings.dat"
+    if not data_path.exists():
+        raise FileNotFoundError(f"MovieLens-1M file not found: {data_path}")
+    with data_path.open("r", encoding="latin-1") as handle:
+        users, items, ratings = parse_rating_lines(
+            handle, "::", source=str(data_path)
+        )
+    return RatingLog(
+        n_users=ML1M_USERS,
+        n_items=ML1M_ITEMS,
+        user_ids=users,
+        item_ids=items,
+        ratings=ratings,
+        name="ml-1m",
+    )

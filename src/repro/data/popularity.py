@@ -1,0 +1,96 @@
+"""Item-popularity statistics and distributions.
+
+Popularity drives two distinct things in the paper:
+
+* the **PNS baseline** samples negatives with probability proportional to
+  ``popularity^0.75`` (the word2vec exponent);
+* the **BNS prior** (Eq. 17) estimates the false-negative probability of an
+  item as its interaction ratio ``pop_l / N``.
+
+This module also offers diagnostics (Gini coefficient, Zipf exponent fit)
+used to verify that synthetic datasets reproduce the long-tail shape of the
+real ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "popularity_distribution",
+    "interaction_ratio",
+    "gini_coefficient",
+    "fit_zipf_exponent",
+]
+
+
+def popularity_distribution(
+    interactions: InteractionMatrix, exponent: float = 0.75
+) -> np.ndarray:
+    """Normalized sampling distribution ``p(j) ∝ pop_j^exponent``.
+
+    Items with zero interactions keep a zero probability, matching the
+    standard PNS formulation (an item nobody interacted with carries no
+    popularity signal to key on).  If *no* item has interactions the
+    distribution falls back to uniform.
+    """
+    check_non_negative(exponent, "exponent")
+    pop = interactions.item_popularity.astype(np.float64)
+    weights = pop**exponent
+    total = weights.sum()
+    if total == 0.0:
+        return np.full(interactions.n_items, 1.0 / interactions.n_items)
+    return weights / total
+
+
+def interaction_ratio(interactions: InteractionMatrix) -> np.ndarray:
+    """Eq. 17's prior: ``P_fn(l) = pop_l / N`` with ``N`` total interactions.
+
+    Returns the zero vector for an empty matrix.
+    """
+    n = interactions.n_interactions
+    pop = interactions.item_popularity.astype(np.float64)
+    if n == 0:
+        return pop
+    return pop / n
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = equal, →1 = skewed)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("gini_coefficient needs at least one value")
+    if np.any(values < 0):
+        raise ValueError("gini_coefficient requires non-negative values")
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    sorted_values = np.sort(values)
+    n = sorted_values.size
+    # Standard formulation via the Lorenz curve.
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * sorted_values).sum()) / (n * total) - (n + 1.0) / n)
+
+
+def fit_zipf_exponent(popularity: np.ndarray, *, top_fraction: float = 0.5) -> float:
+    """Least-squares Zipf exponent of a popularity vector.
+
+    Fits ``log pop ~ -s log rank`` over the most popular ``top_fraction`` of
+    items with non-zero popularity (the tail of a finite sample departs from
+    the power law, as in real logs).  Returns the positive exponent ``s``.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    pop = np.sort(np.asarray(popularity, dtype=np.float64).ravel())[::-1]
+    pop = pop[pop > 0]
+    if pop.size < 3:
+        raise ValueError("need at least 3 items with non-zero popularity")
+    head = max(3, int(pop.size * top_fraction))
+    head_pop = pop[:head]
+    log_rank = np.log(np.arange(1, head + 1, dtype=np.float64))
+    log_pop = np.log(head_pop)
+    slope, _ = np.polyfit(log_rank, log_pop, deg=1)
+    return float(-slope)

@@ -1,0 +1,161 @@
+"""Train/test splits for implicit feedback.
+
+The paper's protocol (§IV-A1) is "for each dataset, we randomly select 20%
+as test data, and the rest 80% as training data".  We implement that as
+:func:`random_holdout_split` plus two common alternatives used by the
+follow-up ablations:
+
+* :func:`per_user_holdout_split` — hold out a fraction of *each user's*
+  interactions, guaranteeing every active user appears in both sides;
+* :func:`leave_one_out_split` — one held-out item per user.
+
+All splits guarantee train/test disjointness and preserve the matrix shape,
+which the evaluation protocol relies on (test positives are the *false
+negatives* of the training phase — the ground truth behind Fig. 1 and the
+TNR metric).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "random_holdout_split",
+    "per_user_holdout_split",
+    "leave_one_out_split",
+]
+
+
+def random_holdout_split(
+    interactions: InteractionMatrix,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+    *,
+    min_train_per_user: int = 1,
+) -> Tuple[InteractionMatrix, InteractionMatrix]:
+    """Global random split: each interaction lands in test w.p. ``test_fraction``.
+
+    ``min_train_per_user`` interactions of every user are pinned to the
+    training side so no user's row goes completely cold (a user with an
+    empty :math:`I^+_u` could never form a training triple).
+
+    Returns ``(train, test)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if min_train_per_user < 0:
+        raise ValueError("min_train_per_user must be >= 0")
+    rng = as_rng(seed)
+    users, items = interactions.pairs()
+    n = users.size
+    if n == 0:
+        raise ValueError("cannot split an empty interaction matrix")
+
+    in_test = rng.random(n) < test_fraction
+    if min_train_per_user > 0:
+        _pin_train_minimum(users, in_test, min_train_per_user, rng)
+
+    train = InteractionMatrix(
+        interactions.n_users, interactions.n_items, users[~in_test], items[~in_test]
+    )
+    test = InteractionMatrix(
+        interactions.n_users, interactions.n_items, users[in_test], items[in_test]
+    )
+    return train, test
+
+
+def per_user_holdout_split(
+    interactions: InteractionMatrix,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+    *,
+    min_train_per_user: int = 1,
+) -> Tuple[InteractionMatrix, InteractionMatrix]:
+    """Stratified split: hold out ``test_fraction`` of every user's items.
+
+    A user with ``k`` interactions contributes ``floor(k * test_fraction)``
+    test items, but never so many that fewer than ``min_train_per_user``
+    remain for training.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(seed)
+    train_users, train_items, test_users, test_items = [], [], [], []
+    for user in range(interactions.n_users):
+        positives = interactions.items_of(user)
+        k = positives.size
+        if k == 0:
+            continue
+        n_test = int(np.floor(k * test_fraction))
+        n_test = min(n_test, max(k - min_train_per_user, 0))
+        order = rng.permutation(k)
+        test_part = positives[order[:n_test]]
+        train_part = positives[order[n_test:]]
+        train_users.append(np.full(train_part.size, user, dtype=np.int64))
+        train_items.append(train_part)
+        test_users.append(np.full(test_part.size, user, dtype=np.int64))
+        test_items.append(test_part)
+    return (
+        _build(interactions, train_users, train_items),
+        _build(interactions, test_users, test_items),
+    )
+
+
+def leave_one_out_split(
+    interactions: InteractionMatrix,
+    seed: SeedLike = None,
+) -> Tuple[InteractionMatrix, InteractionMatrix]:
+    """Hold out exactly one random interaction per user with >= 2 interactions."""
+    rng = as_rng(seed)
+    train_users, train_items, test_users, test_items = [], [], [], []
+    for user in range(interactions.n_users):
+        positives = interactions.items_of(user)
+        if positives.size < 2:
+            train_users.append(np.full(positives.size, user, dtype=np.int64))
+            train_items.append(positives.copy())
+            continue
+        held = int(rng.integers(positives.size))
+        mask = np.ones(positives.size, dtype=bool)
+        mask[held] = False
+        train_users.append(np.full(positives.size - 1, user, dtype=np.int64))
+        train_items.append(positives[mask])
+        test_users.append(np.asarray([user], dtype=np.int64))
+        test_items.append(positives[held : held + 1])
+    return (
+        _build(interactions, train_users, train_items),
+        _build(interactions, test_users, test_items),
+    )
+
+
+def _pin_train_minimum(
+    users: np.ndarray,
+    in_test: np.ndarray,
+    min_train: int,
+    rng: np.random.Generator,
+) -> None:
+    """Flip test assignments back to train for users left too cold (in place)."""
+    n_users = int(users.max()) + 1 if users.size else 0
+    train_counts = np.bincount(users[~in_test], minlength=n_users)
+    for user in np.nonzero(train_counts < min_train)[0]:
+        owned = np.nonzero((users == user) & in_test)[0]
+        total = int(np.count_nonzero(users == user))
+        needed = min(min_train, total) - int(train_counts[user])
+        if needed <= 0 or owned.size == 0:
+            continue
+        flip = rng.choice(owned, size=min(needed, owned.size), replace=False)
+        in_test[flip] = False
+
+
+def _build(
+    reference: InteractionMatrix,
+    user_chunks: list,
+    item_chunks: list,
+) -> InteractionMatrix:
+    users = np.concatenate(user_chunks) if user_chunks else np.empty(0, dtype=np.int64)
+    items = np.concatenate(item_chunks) if item_chunks else np.empty(0, dtype=np.int64)
+    return InteractionMatrix(reference.n_users, reference.n_items, users, items)

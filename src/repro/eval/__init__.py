@@ -1,0 +1,72 @@
+"""Evaluation: ranking metrics and sampling-quality metrics.
+
+Two families, matching the paper's §IV-A4:
+
+* **Recommendation performance** — Precision@K, Recall@K, NDCG@K (the
+  Table II metrics) plus HitRate, MAP, MRR and AUC, computed by the
+  full-ranking protocol of :class:`repro.eval.protocol.Evaluator`
+  (train positives excluded from rankings, averaged over test users);
+* **Sampling quality** — the true-negative rate TNR (Eq. 33) and the
+  signed informativeness INF (Eq. 34) of the negatives a sampler actually
+  drew during each epoch (:mod:`repro.eval.sampling_quality`), and the
+  TN/FN score-distribution tracker behind Fig. 1
+  (:mod:`repro.eval.distribution`).
+"""
+
+from repro.eval.distribution import ScoreDistributionRecorder, score_snapshot
+from repro.eval.diversity import (
+    average_recommendation_popularity,
+    catalog_coverage,
+    popularity_lift,
+    recommendation_footprint,
+)
+from repro.eval.protocol import Evaluator
+from repro.eval.ranking import (
+    auc,
+    average_precision_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.sampling_quality import (
+    SamplingQualityRecorder,
+    false_negative_flags,
+    informativeness_measure,
+    true_negative_rate,
+)
+from repro.eval.significance import (
+    PairedComparison,
+    paired_bootstrap_test,
+    paired_sign_test,
+)
+from repro.eval.stratified import popularity_buckets, stratified_recall
+from repro.eval.topk import top_k_items
+
+__all__ = [
+    "Evaluator",
+    "PairedComparison",
+    "SamplingQualityRecorder",
+    "ScoreDistributionRecorder",
+    "auc",
+    "average_precision_at_k",
+    "average_recommendation_popularity",
+    "catalog_coverage",
+    "false_negative_flags",
+    "hit_rate_at_k",
+    "popularity_lift",
+    "recommendation_footprint",
+    "informativeness_measure",
+    "ndcg_at_k",
+    "paired_bootstrap_test",
+    "paired_sign_test",
+    "popularity_buckets",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "score_snapshot",
+    "stratified_recall",
+    "top_k_items",
+    "true_negative_rate",
+]

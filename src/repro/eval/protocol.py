@@ -1,0 +1,115 @@
+"""The full evaluation protocol behind Table II.
+
+For each user with at least one test positive: rank all un-interacted
+items by the model's scores, compute Precision/Recall/NDCG at each cutoff
+(plus optional extras), and average over users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ImplicitDataset
+from repro.eval.ranking import (
+    auc,
+    average_precision_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.eval.topk import top_k_items
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Compute averaged ranking metrics on a dataset's test split.
+
+    Parameters
+    ----------
+    dataset:
+        Supplies train positives (masked out of rankings) and test
+        positives (the relevance labels).
+    ks:
+        Cutoffs; the paper reports ``(5, 10, 20)``.
+    extra_metrics:
+        When true, additionally reports ``hitrate@K``, ``map@K``, ``mrr``
+        and ``auc`` (not in the paper's tables but standard).
+    max_users:
+        Optional cap: evaluate a reproducible subset of users (ordered ids)
+        — used by fast benchmarks.
+    """
+
+    def __init__(
+        self,
+        dataset: ImplicitDataset,
+        ks: Sequence[int] = (5, 10, 20),
+        *,
+        extra_metrics: bool = False,
+        max_users: Optional[int] = None,
+    ) -> None:
+        if not ks:
+            raise ValueError("ks must contain at least one cutoff")
+        if any(k < 1 for k in ks):
+            raise ValueError(f"all cutoffs must be >= 1, got {ks}")
+        self.dataset = dataset
+        self.ks = tuple(int(k) for k in ks)
+        self.extra_metrics = bool(extra_metrics)
+        self.max_users = max_users
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, model) -> Dict[str, float]:
+        """Averaged metrics, keyed ``precision@5``, ``recall@10``, …"""
+        per_user = self.evaluate_per_user(model)
+        return {key: float(values.mean()) for key, values in per_user.items()}
+
+    def evaluate_per_user(self, model) -> Dict[str, np.ndarray]:
+        """Per-user metric arrays (aligned with :meth:`evaluated_users`).
+
+        This is what paired significance tests consume
+        (:mod:`repro.eval.significance`): comparing two models on the same
+        users requires the un-averaged values.
+        """
+        users = self.evaluated_users()
+        max_k = max(self.ks)
+        accumulators: Dict[str, list] = {}
+
+        def add(key: str, value: float) -> None:
+            accumulators.setdefault(key, []).append(value)
+
+        for user in users.tolist():
+            train_pos = self.dataset.train.items_of(user)
+            test_pos = self.dataset.test.items_of(user)
+            relevant = set(test_pos.tolist())
+            scores = model.scores(user)
+            ranked = top_k_items(scores, train_pos, max_k)
+            for k in self.ks:
+                add(f"precision@{k}", precision_at_k(ranked, relevant, k))
+                add(f"recall@{k}", recall_at_k(ranked, relevant, k))
+                add(f"ndcg@{k}", ndcg_at_k(ranked, relevant, k))
+                if self.extra_metrics:
+                    add(f"hitrate@{k}", hit_rate_at_k(ranked, relevant, k))
+                    add(f"map@{k}", average_precision_at_k(ranked, relevant, k))
+            if self.extra_metrics:
+                add("mrr", reciprocal_rank(ranked, relevant))
+                relevant_mask = np.zeros(self.dataset.n_items, dtype=bool)
+                relevant_mask[test_pos] = True
+                candidate_mask = np.ones(self.dataset.n_items, dtype=bool)
+                candidate_mask[train_pos] = False
+                add("auc", auc(scores, relevant_mask, candidate_mask))
+
+        return {key: np.asarray(values) for key, values in accumulators.items()}
+
+    def evaluated_users(self) -> np.ndarray:
+        """The user ids evaluation iterates, in order."""
+        users = self.dataset.evaluable_users()
+        if self.max_users is not None:
+            users = users[: self.max_users]
+        if users.size == 0:
+            raise ValueError("no users with test positives to evaluate")
+        return users

@@ -1,0 +1,130 @@
+"""Per-user ranking metrics.
+
+All functions take a *ranked* array of recommended item ids (best first,
+train positives already excluded) and the user's set of relevant items
+(test positives), and return a scalar in [0, 1].  The evaluator averages
+them over users, the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "average_precision_at_k",
+    "reciprocal_rank",
+    "auc",
+]
+
+
+def _hits(ranked: np.ndarray, relevant: Set[int], k: int) -> np.ndarray:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    head = np.asarray(ranked).ravel()[:k]
+    if not relevant:
+        return np.zeros(head.size, dtype=bool)
+    relevant_arr = np.fromiter(relevant, dtype=np.int64)
+    return np.isin(head, relevant_arr)
+
+
+def precision_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Fraction of the top-``k`` recommendations that are relevant.
+
+    Follows the paper's convention of dividing by ``k`` even if the user
+    has fewer than ``k`` relevant items.
+    """
+    return float(_hits(ranked, relevant, k).sum() / k)
+
+
+def recall_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Fraction of the user's relevant items found in the top-``k``."""
+    if not relevant:
+        return 0.0
+    return float(_hits(ranked, relevant, k).sum() / len(relevant))
+
+
+def ndcg_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance.
+
+    ``DCG = Σ_r hit_r / log2(r + 2)`` over ranks ``r = 0..k-1``;
+    the ideal DCG places all (up to ``k``) relevant items first.
+    """
+    hits = _hits(ranked, relevant, k)
+    if not relevant:
+        return 0.0
+    ranks = np.arange(hits.size)
+    dcg = float((hits / np.log2(ranks + 2.0)).sum())
+    n_ideal = min(len(relevant), k)
+    ideal = float((1.0 / np.log2(np.arange(n_ideal) + 2.0)).sum())
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def hit_rate_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+    """1 if any relevant item appears in the top-``k``, else 0."""
+    return float(bool(_hits(ranked, relevant, k).any()))
+
+
+def average_precision_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+    """AP@k: precision averaged at each relevant rank, over min(|rel|, k)."""
+    hits = _hits(ranked, relevant, k)
+    if not relevant:
+        return 0.0
+    if not hits.any():
+        return 0.0
+    cumulative = np.cumsum(hits)
+    ranks = np.arange(1, hits.size + 1)
+    precisions = cumulative[hits] / ranks[hits]
+    return float(precisions.sum() / min(len(relevant), k))
+
+
+def reciprocal_rank(ranked: np.ndarray, relevant: Set[int]) -> float:
+    """1 / (rank of the first relevant item), 0 when none appears."""
+    ranked = np.asarray(ranked).ravel()
+    if not relevant:
+        return 0.0
+    relevant_arr = np.fromiter(relevant, dtype=np.int64)
+    positions = np.nonzero(np.isin(ranked, relevant_arr))[0]
+    if positions.size == 0:
+        return 0.0
+    return float(1.0 / (positions[0] + 1))
+
+
+def auc(scores: np.ndarray, relevant_mask: np.ndarray, candidate_mask: np.ndarray) -> float:
+    """Pairwise ranking accuracy among candidate items.
+
+    ``scores`` covers all items; ``relevant_mask`` marks test positives and
+    ``candidate_mask`` the items eligible for ranking (typically everything
+    except train positives).  Computed exactly via rank statistics
+    (Mann–Whitney), ties counted one half.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    relevant_mask = np.asarray(relevant_mask, dtype=bool).ravel()
+    candidate_mask = np.asarray(candidate_mask, dtype=bool).ravel()
+    if not (scores.size == relevant_mask.size == candidate_mask.size):
+        raise ValueError("scores and masks must have identical length")
+    positives = scores[relevant_mask & candidate_mask]
+    negatives = scores[~relevant_mask & candidate_mask]
+    if positives.size == 0 or negatives.size == 0:
+        return 0.5
+    pooled = np.concatenate([positives, negatives])
+    # Average ranks with tie correction via double argsort of stable order.
+    order = np.argsort(pooled, kind="mergesort")
+    ranks = np.empty(pooled.size, dtype=np.float64)
+    sorted_scores = pooled[order]
+    # Assign average rank to ties in one pass.
+    boundaries = np.nonzero(np.diff(sorted_scores))[0] + 1
+    groups = np.split(order, boundaries)
+    position = 0
+    for group in groups:
+        size = group.size
+        ranks[group] = position + (size + 1) / 2.0
+        position += size
+    rank_sum = ranks[: positives.size].sum()
+    u_statistic = rank_sum - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))

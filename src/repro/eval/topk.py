@@ -1,0 +1,52 @@
+"""Top-K recommendation extraction.
+
+The protocol: a user's recommendation list ranks his *un-interacted* items
+by predicted score — train positives are masked out, test positives stay in
+(they are exactly what a good model should surface).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+
+__all__ = ["top_k_items", "ranked_items"]
+
+
+def top_k_items(
+    scores: np.ndarray,
+    train_positives: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Top-``k`` item ids by score with train positives excluded.
+
+    Parameters
+    ----------
+    scores:
+        The user's full score vector.
+    train_positives:
+        Item ids to exclude from the ranking.
+    k:
+        List length; truncated to the number of eligible items.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    scores = np.asarray(scores, dtype=np.float64)
+    masked = scores.copy()
+    masked[np.asarray(train_positives, dtype=np.int64)] = -np.inf
+    k_eff = min(k, int(np.isfinite(masked).sum()))
+    if k_eff == 0:
+        return np.empty(0, dtype=np.int64)
+    # argpartition for the head, then exact sort of the head only.
+    head = np.argpartition(-masked, k_eff - 1)[:k_eff]
+    return head[np.argsort(-masked[head], kind="stable")]
+
+
+def ranked_items(scores: np.ndarray, train_positives: np.ndarray) -> np.ndarray:
+    """Full descending ranking of the user's un-interacted items."""
+    scores = np.asarray(scores, dtype=np.float64)
+    mask = np.ones(scores.size, dtype=bool)
+    mask[np.asarray(train_positives, dtype=np.int64)] = False
+    eligible = np.nonzero(mask)[0]
+    return eligible[np.argsort(-scores[eligible], kind="stable")]

@@ -1,0 +1,62 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every artifact module exposes a ``run_*`` function returning a result
+object with a ``format()`` method that prints the same rows/series the
+paper reports.  Two scales are supported everywhere:
+
+* ``scale="bench"`` — scaled-down synthetic datasets and epoch counts so
+  the whole suite runs in minutes on a laptop (used by ``benchmarks/``);
+* ``scale="paper"`` — the paper's full universe sizes and epoch counts.
+
+Absolute numbers differ from the paper (the substrate is a calibrated
+synthetic dataset — see DESIGN.md §1); the *shape* of each result is what
+is validated, and ``repro.experiments.reporting`` provides the comparison
+helpers EXPERIMENTS.md is generated from.
+"""
+
+from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.export import export_json, to_jsonable
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import RunResult, run_spec
+from repro.experiments.sweep import ReplicationResult, run_replicated
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+
+__all__ = [
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "ReplicationResult",
+    "RunResult",
+    "RunSpec",
+    "Scale",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "export_json",
+    "format_series",
+    "format_table",
+    "to_jsonable",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_replicated",
+    "run_spec",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "scale_preset",
+]

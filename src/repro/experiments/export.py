@@ -1,0 +1,64 @@
+"""JSON export of experiment results.
+
+Every artifact result object exposes ``rows()`` or series accessors;
+:func:`export_json` normalizes any of them (plus plain dicts / RunResults)
+into a JSON document with a small metadata envelope, so downstream
+analysis does not have to parse the formatted text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+import repro
+
+__all__ = ["export_json", "to_jsonable"]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and result objects."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if hasattr(value, "rows") and callable(value.rows):
+        return {"rows": to_jsonable(value.rows())}
+    if hasattr(value, "metrics") and isinstance(getattr(value, "metrics"), dict):
+        return {"metrics": to_jsonable(value.metrics)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dataclass_fields__"):
+        from dataclasses import asdict
+
+        return to_jsonable(asdict(value))
+    raise TypeError(f"cannot convert {type(value).__name__} to JSON")
+
+
+def export_json(result: Any, path: PathLike, *, name: str = "result") -> Path:
+    """Write ``result`` to ``path`` with a metadata envelope.
+
+    Returns the path written.  The envelope records the library version
+    and an ISO timestamp so exported artifacts are self-describing.
+    """
+    path = Path(path)
+    document = {
+        "name": name,
+        "library_version": repro.__version__,
+        "exported_at": datetime.now(timezone.utc).isoformat(),
+        "payload": to_jsonable(result),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

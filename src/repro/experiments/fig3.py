@@ -1,0 +1,73 @@
+"""Fig. 3 — the ``unbias(l)`` surface over ``F(x̂) × P_fn``.
+
+Numerically evaluates Eq. 15 on a grid and verifies the paper's stated
+properties: the value domain is [0, 1] and the surface is monotonically
+decreasing in both the CDF value and the prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.unbiasedness import unbias
+from repro.experiments.reporting import format_table
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    """Grid evaluation of the posterior surface."""
+
+    cdf_grid: np.ndarray
+    prior_grid: np.ndarray
+    surface: np.ndarray  # shape (len(cdf_grid), len(prior_grid))
+
+    def is_decreasing_in_cdf(self) -> bool:
+        """Monotone non-increasing along the F axis (rows)."""
+        return bool(np.all(np.diff(self.surface, axis=0) <= 1e-12))
+
+    def is_decreasing_in_prior(self) -> bool:
+        """Monotone non-increasing along the P_fn axis (columns)."""
+        return bool(np.all(np.diff(self.surface, axis=1) <= 1e-12))
+
+    def in_unit_interval(self) -> bool:
+        """Probability form: every value in [0, 1]."""
+        return bool(
+            np.all(self.surface >= 0.0) and np.all(self.surface <= 1.0)
+        )
+
+    def format(self) -> str:
+        checks = [
+            {"property": "unbias ∈ [0, 1]", "holds": self.in_unit_interval()},
+            {"property": "decreasing in F(x̂)", "holds": self.is_decreasing_in_cdf()},
+            {"property": "decreasing in P_fn", "holds": self.is_decreasing_in_prior()},
+        ]
+        sample_rows = []
+        idx = np.linspace(0, self.cdf_grid.size - 1, 5).astype(int)
+        for i in idx:
+            row = {"F": float(self.cdf_grid[i])}
+            for j in idx:
+                row[f"Pfn={self.prior_grid[j]:.2f}"] = float(self.surface[i, j])
+            sample_rows.append(row)
+        header = ["F"] + [f"Pfn={self.prior_grid[j]:.2f}" for j in idx]
+        return (
+            format_table(
+                checks, ["property", "holds"], title="Fig. 3 — unbias(l) surface checks"
+            )
+            + "\n\n"
+            + format_table(sample_rows, header, title="Sampled surface values")
+        )
+
+
+def run_fig3(n_points: int = 101) -> Fig3Result:
+    """Evaluate Eq. 15 over an ``n_points × n_points`` unit grid."""
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    cdf_grid = np.linspace(0.0, 1.0, n_points)
+    prior_grid = np.linspace(0.0, 1.0, n_points)
+    cdf_mesh, prior_mesh = np.meshgrid(cdf_grid, prior_grid, indexing="ij")
+    surface = unbias(cdf_mesh, prior_mesh)
+    return Fig3Result(cdf_grid=cdf_grid, prior_grid=prior_grid, surface=surface)

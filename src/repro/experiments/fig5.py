@@ -1,0 +1,101 @@
+"""Fig. 5 — hyper-parameter sensitivity of BNS (λ and |M_u|).
+
+Two sweeps on MF, NDCG@20 as the target (the paper's Fig. 5):
+
+* λ ∈ {0.1, 1, 5, 10, 15} at |M_u| = 5 — expected: a rise from λ=0.1 to a
+  peak in the mid range, confirming that hard negatives matter;
+* |M_u| ∈ {1, 3, 5, 10, 15} at λ = 5 — expected: |M_u|=1 equals RNS; the
+  metric peaks at moderate |M_u| and can degrade for large |M_u| because
+  the popularity prior's bias gets amplified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.registry import load_dataset
+from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_spec
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+_LAMBDAS = (0.1, 1.0, 5.0, 10.0, 15.0)
+_SIZES = (1, 3, 5, 10, 15)
+
+
+@dataclass
+class Fig5Result:
+    """NDCG@20 as a function of λ and of |M_u|."""
+
+    scale: Scale
+    metric: str
+    lambda_sweep: List[Tuple[float, float]]
+    size_sweep: List[Tuple[int, float]]
+
+    def best_lambda(self) -> float:
+        """λ value achieving the best metric."""
+        return max(self.lambda_sweep, key=lambda pair: pair[1])[0]
+
+    def best_size(self) -> int:
+        """|M_u| value achieving the best metric."""
+        return max(self.size_sweep, key=lambda pair: pair[1])[0]
+
+    def format(self) -> str:
+        lam_rows = [
+            {"lambda": lam, self.metric: value} for lam, value in self.lambda_sweep
+        ]
+        size_rows = [
+            {"|Mu|": size, self.metric: value} for size, value in self.size_sweep
+        ]
+        return (
+            format_table(
+                lam_rows,
+                ["lambda", self.metric],
+                title=f"Fig. 5a — λ sweep (|Mu|=5), {self.metric}",
+            )
+            + "\n\n"
+            + format_table(
+                size_rows,
+                ["|Mu|", self.metric],
+                title=f"Fig. 5b — |Mu| sweep (λ=5), {self.metric}",
+            )
+        )
+
+
+def run_fig5(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    lambdas: Sequence[float] = _LAMBDAS,
+    sizes: Sequence[int] = _SIZES,
+    metric: str = "ndcg@20",
+) -> Fig5Result:
+    """Run both BNS hyper-parameter sweeps on a shared dataset/split."""
+    preset = scale_preset(scale)
+    full_name = dataset_name + preset.dataset_suffix
+    dataset = load_dataset(full_name, seed=seed)
+
+    def run_bns(**sampler_kwargs) -> float:
+        spec = RunSpec(
+            dataset=full_name,
+            model="mf",
+            sampler="bns",
+            sampler_kwargs=tuple(sorted(sampler_kwargs.items())),
+            epochs=preset.epochs,
+            batch_size=preset.batch_size,
+            lr=preset.lr,
+            seed=seed,
+        )
+        return run_spec(spec, dataset).metric(metric)
+
+    lambda_sweep = [
+        (float(lam), run_bns(weight=float(lam), n_candidates=5)) for lam in lambdas
+    ]
+    size_sweep = [
+        (int(size), run_bns(weight=5.0, n_candidates=int(size))) for size in sizes
+    ]
+    return Fig5Result(
+        scale=scale, metric=metric, lambda_sweep=lambda_sweep, size_sweep=size_sweep
+    )

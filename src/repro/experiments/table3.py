@@ -1,0 +1,100 @@
+"""Table III — the BNS variant study (§IV-C2).
+
+Compares standard BNS against its four studied variants plus the RNS
+reference, all on the same dataset/split with MF:
+
+* BNS-1 — λ warm start (expected ≥ BNS);
+* BNS-2 — RNS warm start of the sample information (expected ≈ BNS, not
+  better — the paper's negative result);
+* BNS-3 — non-informative prior (expected < BNS; degenerates to DNS);
+* BNS-4 — occupation-enhanced prior (expected ≥ BNS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.data.registry import load_dataset
+from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.paper_values import METRIC_KEYS, TABLE3
+from repro.experiments.reporting import format_table, shape_report
+from repro.experiments.runner import run_spec
+
+__all__ = ["Table3Result", "run_table3", "TABLE3_SAMPLERS"]
+
+TABLE3_SAMPLERS = ("rns", "bns", "bns-1", "bns-2", "bns-3", "bns-4")
+
+_PAPER_NAMES = {
+    "rns": "RNS",
+    "bns": "BNS",
+    "bns-1": "BNS-1",
+    "bns-2": "BNS-2",
+    "bns-3": "BNS-3",
+    "bns-4": "BNS-4",
+}
+
+
+@dataclass
+class Table3Result:
+    """Measured metrics per variant."""
+
+    scale: Scale
+    metrics: Dict[str, Dict[str, float]]
+
+    def shape_checks(self, metric: str = "ndcg@20") -> List[str]:
+        """The paper's variant orderings as PASS/FAIL lines."""
+        return shape_report(
+            self.metrics,
+            metric,
+            [
+                ("bns", "rns"),
+                ("bns", "bns-3"),   # informative prior helps
+                ("bns-4", "bns-3"),  # better prior > worse prior
+            ],
+        )
+
+    def rows(self) -> List[dict]:
+        rows = []
+        for sampler in TABLE3_SAMPLERS:
+            if sampler not in self.metrics:
+                continue
+            row: Dict[str, object] = {"method": _PAPER_NAMES[sampler]}
+            row.update(self.metrics[sampler])
+            paper = TABLE3.get(_PAPER_NAMES[sampler])
+            if paper is not None:
+                row["paper_ndcg@20"] = paper["ndcg@20"]
+            rows.append(row)
+        return rows
+
+    def format(self) -> str:
+        return format_table(
+            self.rows(),
+            ["method", *METRIC_KEYS, "paper_ndcg@20"],
+            title="Table III — study of BNS (variants)",
+        )
+
+
+def run_table3(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    samplers: Sequence[str] = TABLE3_SAMPLERS,
+) -> Table3Result:
+    """Train each variant on the same dataset/split with MF."""
+    preset = scale_preset(scale)
+    full_name = dataset_name + preset.dataset_suffix
+    dataset = load_dataset(full_name, seed=seed)
+    metrics: Dict[str, Dict[str, float]] = {}
+    for sampler in samplers:
+        spec = RunSpec(
+            dataset=full_name,
+            model="mf",
+            sampler=sampler,
+            epochs=preset.epochs,
+            batch_size=preset.batch_size,
+            lr=preset.lr,
+            seed=seed,
+        )
+        metrics[sampler] = run_spec(spec, dataset).metrics
+    return Table3Result(scale=scale, metrics=metrics)

@@ -1,0 +1,105 @@
+"""The score-model interface every component programs against.
+
+A :class:`ScoreModel` predicts a preference score ``x̂_ui`` for any
+user-item pair.  Negative samplers read per-user score vectors from it, the
+trainer drives its :meth:`train_step`, and the evaluator ranks items by its
+scores.  The interface is intentionally small so alternative models (or a
+wrapper around a learned model from elsewhere) can be dropped in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.train.optimizer import Optimizer
+
+__all__ = ["ScoreModel"]
+
+
+class ScoreModel(ABC):
+    """Abstract pairwise-trainable scoring model."""
+
+    #: Matrix shape; set by concrete constructors.
+    n_users: int
+    n_items: int
+    #: Embedding dimensionality.
+    n_factors: int
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def scores(self, user: int) -> np.ndarray:
+        """Predicted score vector ``x̂_u`` over all items, shape ``(n_items,)``.
+
+        Algorithm 1's "get rating vector" step; samplers call this once per
+        user per batch.
+        """
+
+    @abstractmethod
+    def score_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Scores of parallel ``(user, item)`` id arrays, shape ``(B,)``."""
+
+    def score_matrix(self, users: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense score block for the given users (default: all users).
+
+        Convenience for evaluation; may be memory-heavy on large universes,
+        so the evaluator chunks its calls.
+        """
+        if users is None:
+            users = np.arange(self.n_users)
+        return np.stack([self.scores(int(u)) for u in np.asarray(users).ravel()])
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def train_step(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        neg_items: np.ndarray,
+        optimizer: Optimizer,
+        reg: float,
+    ) -> np.ndarray:
+        """One BPR step on a batch of triples ``(u, i, j)``.
+
+        Maximizes ``ln σ(x̂_ui − x̂_uj)`` (Eq. 1) with L2 regularization
+        ``reg`` and applies the gradients through ``optimizer``.
+
+        Returns the per-triple value ``1 − σ(x̂_ui − x̂_uj)`` *before* the
+        update — exactly the paper's ``info(j)`` (Eq. 4), which the trainer
+        hands to the sampling-quality recorders (Eq. 34).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by evaluation and tests)
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def user_factors(self) -> np.ndarray:
+        """Effective user representations, shape ``(n_users, n_factors)``."""
+
+    @property
+    @abstractmethod
+    def item_factors(self) -> np.ndarray:
+        """Effective item representations, shape ``(n_items, n_factors)``."""
+
+    def _check_triple_arrays(
+        self, users: np.ndarray, pos_items: np.ndarray, neg_items: np.ndarray
+    ) -> tuple:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        pos_items = np.asarray(pos_items, dtype=np.int64).ravel()
+        neg_items = np.asarray(neg_items, dtype=np.int64).ravel()
+        if not users.size == pos_items.size == neg_items.size:
+            raise ValueError(
+                "users, pos_items and neg_items must be parallel arrays, got "
+                f"sizes {users.size}, {pos_items.size}, {neg_items.size}"
+            )
+        return users, pos_items, neg_items

@@ -1,0 +1,50 @@
+"""Bipartite-graph utilities for LightGCN.
+
+LightGCN propagates embeddings over the symmetric-normalized adjacency of
+the user-item bipartite graph:
+
+    Â = D^{-1/2} A D^{-1/2},   A = [[0, R], [Rᵀ, 0]]
+
+with ``R`` the binary interaction matrix.  Nodes ``0..n_users-1`` are users
+and ``n_users..n_users+n_items-1`` are items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.interactions import InteractionMatrix
+
+__all__ = ["bipartite_adjacency", "normalized_adjacency"]
+
+
+def bipartite_adjacency(interactions: InteractionMatrix) -> sp.csr_matrix:
+    """Unnormalized bipartite adjacency ``A`` of shape ``(M+N, M+N)``."""
+    rating = interactions.tocsr().astype(np.float64)
+    n_users, n_items = interactions.shape
+    upper = sp.hstack(
+        [sp.csr_matrix((n_users, n_users)), rating], format="csr"
+    )
+    lower = sp.hstack(
+        [rating.T.tocsr(), sp.csr_matrix((n_items, n_items))], format="csr"
+    )
+    return sp.vstack([upper, lower], format="csr")
+
+
+def normalized_adjacency(interactions: InteractionMatrix) -> sp.csr_matrix:
+    """Symmetric-normalized adjacency ``Â = D^{-1/2} A D^{-1/2}``.
+
+    Isolated nodes (users/items with no interactions) receive zero rows —
+    their embeddings simply do not propagate, matching the reference
+    implementation.
+    """
+    adjacency = bipartite_adjacency(interactions)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    scale = sp.diags(inv_sqrt)
+    normalized = (scale @ adjacency @ scale).tocsr()
+    normalized.sort_indices()
+    return normalized

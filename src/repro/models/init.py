@@ -1,0 +1,37 @@
+"""Embedding initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["normal_init", "xavier_init"]
+
+
+def normal_init(
+    n_rows: int,
+    n_factors: int,
+    scale: float = 0.1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Gaussian init ``N(0, scale²)`` — the classic BPR-MF choice."""
+    check_positive(n_rows, "n_rows")
+    check_positive(n_factors, "n_factors")
+    check_positive(scale, "scale")
+    rng = as_rng(seed)
+    return rng.normal(0.0, scale, size=(n_rows, n_factors))
+
+
+def xavier_init(
+    n_rows: int,
+    n_factors: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Xavier/Glorot uniform init — LightGCN's published choice."""
+    check_positive(n_rows, "n_rows")
+    check_positive(n_factors, "n_factors")
+    rng = as_rng(seed)
+    bound = np.sqrt(6.0 / (n_rows + n_factors))
+    return rng.uniform(-bound, bound, size=(n_rows, n_factors))

@@ -1,0 +1,130 @@
+"""Save and load trained models.
+
+Models are persisted as ``.npz`` archives holding the parameter arrays
+plus a small metadata header.  LightGCN additionally stores the training
+interaction pairs so the propagation graph can be rebuilt exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.models.biased_mf import BiasedMatrixFactorization
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import MatrixFactorization
+
+__all__ = ["save_model", "load_model"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model, path: PathLike) -> None:
+    """Persist a supported model to ``path`` (``.npz``)."""
+    path = Path(path)
+    if isinstance(model, MatrixFactorization):
+        np.savez(
+            path,
+            kind="mf",
+            version=_FORMAT_VERSION,
+            user_factors=model.user_factors,
+            item_factors=model.item_factors,
+        )
+    elif isinstance(model, BiasedMatrixFactorization):
+        np.savez(
+            path,
+            kind="biased_mf",
+            version=_FORMAT_VERSION,
+            user_factors=model.user_factors,
+            item_factors=model.item_factors,
+            item_bias=model.item_bias,
+        )
+    elif isinstance(model, LightGCN):
+        users, items = _graph_pairs(model)
+        np.savez(
+            path,
+            kind="lightgcn",
+            version=_FORMAT_VERSION,
+            base_embeddings=model.base_embeddings,
+            n_users=model.n_users,
+            n_items=model.n_items,
+            n_layers=model.n_layers,
+            graph_users=users,
+            graph_items=items,
+        )
+    else:
+        raise TypeError(f"cannot persist model of type {type(model).__name__}")
+
+
+def load_model(path: PathLike):
+    """Load a model previously written by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        kind = str(archive["kind"])
+        version = int(archive["version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: format version {version} is newer than supported "
+                f"({_FORMAT_VERSION})"
+            )
+        if kind == "mf":
+            return _load_mf(archive)
+        if kind == "biased_mf":
+            return _load_biased_mf(archive)
+        if kind == "lightgcn":
+            return _load_lightgcn(archive)
+    raise ValueError(f"{path}: unknown model kind {kind!r}")
+
+
+def _load_mf(archive) -> MatrixFactorization:
+    user_factors = archive["user_factors"]
+    item_factors = archive["item_factors"]
+    model = MatrixFactorization(
+        user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
+    )
+    model.user_factors[:] = user_factors
+    model.item_factors[:] = item_factors
+    return model
+
+
+def _load_biased_mf(archive) -> BiasedMatrixFactorization:
+    user_factors = archive["user_factors"]
+    item_factors = archive["item_factors"]
+    model = BiasedMatrixFactorization(
+        user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
+    )
+    model.user_factors[:] = user_factors
+    model.item_factors[:] = item_factors
+    model.item_bias[:] = archive["item_bias"]
+    return model
+
+
+def _load_lightgcn(archive) -> LightGCN:
+    interactions = InteractionMatrix(
+        int(archive["n_users"]),
+        int(archive["n_items"]),
+        archive["graph_users"],
+        archive["graph_items"],
+    )
+    model = LightGCN(
+        interactions,
+        n_factors=int(archive["base_embeddings"].shape[1]),
+        n_layers=int(archive["n_layers"]),
+        seed=0,
+    )
+    model.base_embeddings[:] = archive["base_embeddings"]
+    model.invalidate_cache()
+    return model
+
+
+def _graph_pairs(model: LightGCN):
+    """Recover the train interaction pairs from the adjacency upper block."""
+    import scipy.sparse as sp
+
+    upper = model._adjacency[: model.n_users, model.n_users :].tocoo()
+    return upper.row.astype(np.int64), upper.col.astype(np.int64)

@@ -1,0 +1,72 @@
+"""Negative samplers: the paper's BNS and every baseline it compares with.
+
+All samplers implement :class:`repro.samplers.base.NegativeSampler`:
+per user, given the positions of the user's positive instances in the
+current batch (and, when ``needs_scores`` is set, the model's full score
+vector for that user), return one negative instance per positive.
+
+Baselines (§IV-A2):
+
+=========  =========================================================
+RNS        uniform over un-interacted items
+PNS        popularity-biased, ``p(j) ∝ pop_j^0.75``
+AOBPR      rank-based oversampling, ``p ∝ exp(−rank/λ_rank)``
+DNS        max-score among ``M`` uniform candidates
+SRNS       score-variance memory (favors high score + high variance)
+=========  =========================================================
+
+The proposed method (§III-D):
+
+=========  =========================================================
+BNS        Bayesian risk-minimizing rule, Eq. 32 / Algorithm 1
+PosteriorOnly  pure posterior criterion, Eq. 35 (used by Fig. 4)
+BNS-1..4   schedule/prior ablations (§IV-C2), see ``variants``
+=========  =========================================================
+"""
+
+from repro.samplers.aobpr import AOBPRSampler
+from repro.samplers.base import NegativeSampler
+from repro.samplers.bns import BayesianNegativeSampler, PosteriorOnlySampler
+from repro.samplers.dns import DynamicNegativeSampler
+from repro.samplers.pns import PopularityNegativeSampler
+from repro.samplers.priors import (
+    ExposurePrior,
+    OccupationPrior,
+    OraclePrior,
+    PopularityPrior,
+    Prior,
+    UniformPrior,
+)
+from repro.samplers.rns import RandomNegativeSampler
+from repro.samplers.srns import SRNSSampler
+from repro.samplers.variants import (
+    make_bns,
+    make_bns_warm_lambda,
+    make_bns_warm_start,
+    make_bns_uninformative_prior,
+    make_bns_occupation_prior,
+    make_sampler,
+)
+
+__all__ = [
+    "AOBPRSampler",
+    "BayesianNegativeSampler",
+    "DynamicNegativeSampler",
+    "ExposurePrior",
+    "NegativeSampler",
+    "OccupationPrior",
+    "OraclePrior",
+    "PopularityNegativeSampler",
+    "PopularityPrior",
+    "PosteriorOnlySampler",
+    "Prior",
+    "RandomNegativeSampler",
+    "SRNSSampler",
+    "UniformPrior",
+    "make_bns",
+    "make_bns_occupation_prior",
+    "make_bns_uninformative_prior",
+    "make_bns_warm_lambda",
+    "make_bns_warm_start",
+    "make_sampler",
+]

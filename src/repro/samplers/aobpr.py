@@ -1,0 +1,67 @@
+"""Adaptive oversampling for BPR (AOBPR, Rendle & Freudenthaler, WSDM 2014).
+
+Samples a *rank* from the heavy-head distribution ``p(r) ∝ exp(−r/λ_rank)``
+and returns the item at that rank in the user's current score ordering —
+i.e. it oversamples globally high-ranked (hard) negatives.  The paper shows
+this greedy global strategy has the worst false-negative bias of all
+baselines (Fig. 4): the head of the ranking is precisely where false
+negatives concentrate.
+
+Implementation note: the original paper amortizes ranking with lazy
+rank estimates; at the scale of this reproduction we compute the exact
+ordering per (user, batch), which preserves the sampling distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.samplers.base import NegativeSampler
+from repro.utils.validation import check_positive
+
+__all__ = ["AOBPRSampler"]
+
+
+class AOBPRSampler(NegativeSampler):
+    """Rank-geometric oversampling of high-scored negatives."""
+
+    needs_scores = True
+    name = "AOBPR"
+
+    def __init__(self, rank_lambda: float = 30.0) -> None:
+        super().__init__()
+        #: Scale of the rank distribution; smaller = greedier toward rank 0.
+        self.rank_lambda = check_positive(rank_lambda, "rank_lambda")
+
+    def sample_for_user(
+        self,
+        user: int,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray],
+    ) -> np.ndarray:
+        n_pos = np.asarray(pos_items).size
+        if n_pos == 0:
+            return np.empty(0, dtype=np.int64)
+        if scores is None:
+            raise ValueError("AOBPR requires the user's score vector")
+        negatives = np.nonzero(self.dataset.train.negative_mask(user))[0]
+        if negatives.size == 0:
+            raise ValueError(f"user {user} has no un-interacted items to sample")
+        # Descending score order of the un-interacted items.
+        order = negatives[np.argsort(-scores[negatives], kind="stable")]
+        ranks = self._sample_ranks(order.size, n_pos)
+        return order[ranks]
+
+    def _sample_ranks(self, n_negatives: int, n_draws: int) -> np.ndarray:
+        """Draw ranks from the truncated geometric ``p(r) ∝ q^r``.
+
+        With ``q = exp(−1/λ_rank)`` the inverse-CDF for the truncation to
+        ``r < K`` is ``floor(log(1 − u(1 − q^K)) / log q)``.
+        """
+        q = np.exp(-1.0 / self.rank_lambda)
+        u = self.rng.random(n_draws)
+        truncation = 1.0 - q**n_negatives
+        ranks = np.floor(np.log1p(-u * truncation) / np.log(q)).astype(np.int64)
+        return np.clip(ranks, 0, n_negatives - 1)

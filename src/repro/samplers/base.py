@@ -1,0 +1,136 @@
+"""Negative-sampler interface and shared sampling utilities.
+
+The trainer groups each mini-batch by user, computes the user's score
+vector once if the sampler declares ``needs_scores``, and calls
+:meth:`NegativeSampler.sample_for_user` to obtain one negative per positive
+in the batch.  This keeps every sampler O(candidates) per triple on top of
+one shared O(n_items · d) score computation per user per batch — the
+linear-time budget the paper claims for BNS.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from repro.data.dataset import ImplicitDataset
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler(ABC):
+    """Base class for all negative samplers.
+
+    Lifecycle: construct → :meth:`bind` (dataset + model + rng) →
+    per epoch :meth:`on_epoch_start` → many :meth:`sample_for_user` calls.
+    """
+
+    #: Whether the trainer must pass the user's full score vector.
+    needs_scores: ClassVar[bool] = False
+    #: Short name used in reports and experiment configs.
+    name: ClassVar[str] = "base"
+
+    def __init__(self) -> None:
+        self._dataset: Optional[ImplicitDataset] = None
+        self._model = None
+        self._rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def bind(self, dataset: ImplicitDataset, model, seed: SeedLike = None) -> None:
+        """Attach the sampler to a dataset and model before training."""
+        self._dataset = dataset
+        self._model = model
+        self._rng = as_rng(seed)
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook; runs after :meth:`bind` stored the references."""
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Per-epoch hook (schedules, memory refresh); default no-op."""
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def sample_for_user(
+        self,
+        user: int,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Return one negative item per entry of ``pos_items``.
+
+        ``scores`` is the user's full predicted score vector when
+        ``needs_scores`` is true, else ``None``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dataset(self) -> ImplicitDataset:
+        """The bound dataset (raises if :meth:`bind` was not called)."""
+        if self._dataset is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound; call bind() first")
+        return self._dataset
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The bound random generator."""
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound; call bind() first")
+        return self._rng
+
+    @property
+    def model(self):
+        """The bound score model."""
+        if self._model is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound; call bind() first")
+        return self._model
+
+    def uniform_negatives(self, user: int, n: int) -> np.ndarray:
+        """``n`` uniform draws from the user's un-interacted items I⁻_u.
+
+        Rejection sampling against the (sorted) positive set — the standard
+        trick: negatives dominate, so very few rounds are needed.  Draws are
+        independent (*with* replacement across the ``n`` results), matching
+        how candidate sets M_u are formed in the paper's Algorithm 1.
+        """
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        train = self.dataset.train
+        positives = train.items_of(user)
+        n_items = train.n_items
+        if positives.size >= n_items:
+            raise ValueError(f"user {user} has no un-interacted items to sample")
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        rng = self.rng
+        while filled < n:
+            need = n - filled
+            # Oversample to amortize rejection rounds.
+            draw = rng.integers(n_items, size=max(need * 2, 8))
+            pos = np.searchsorted(positives, draw)
+            is_positive = (pos < positives.size) & (positives[np.minimum(pos, positives.size - 1)] == draw)
+            accepted = draw[~is_positive][:need]
+            out[filled : filled + accepted.size] = accepted
+            filled += accepted.size
+        return out
+
+    def candidate_matrix(self, user: int, n_pos: int, m: int) -> np.ndarray:
+        """An ``(n_pos, m)`` matrix of uniform negative candidates M_u."""
+        if m <= 0:
+            raise ValueError(f"candidate set size must be positive, got {m}")
+        return self.uniform_negatives(user, n_pos * m).reshape(n_pos, m)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

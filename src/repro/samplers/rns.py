@@ -1,0 +1,32 @@
+"""Random negative sampling (RNS) — the BPR default baseline.
+
+Uniformly samples one un-interacted item per positive (Rendle et al.,
+UAI 2009).  Static distribution, no model information; the paper's Fig. 4
+shows its TNR hovers at the base rate of true negatives among unlabeled
+items.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.samplers.base import NegativeSampler
+
+__all__ = ["RandomNegativeSampler"]
+
+
+class RandomNegativeSampler(NegativeSampler):
+    """Uniform sampling over :math:`I^-_u`."""
+
+    needs_scores = False
+    name = "RNS"
+
+    def sample_for_user(
+        self,
+        user: int,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray],
+    ) -> np.ndarray:
+        return self.uniform_negatives(user, np.asarray(pos_items).size)

@@ -1,0 +1,79 @@
+"""Early-stopping support.
+
+The trainer has no built-in stop signal (the paper trains a fixed 100
+epochs), but long exploratory runs benefit from one.  The callback raises
+:class:`StopTraining` when a watched metric stops improving;
+:class:`repro.train.trainer.Trainer` treats that exception as a clean end
+of training.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.train.callbacks import Callback, EpochStats
+from repro.utils.validation import check_non_negative
+
+__all__ = ["StopTraining", "EarlyStopping"]
+
+
+class StopTraining(Exception):
+    """Raised by a callback to end training after the current epoch."""
+
+
+class EarlyStopping(Callback):
+    """Stop when a metric fails to improve for ``patience`` epochs.
+
+    Parameters
+    ----------
+    evaluate:
+        ``(model) -> float`` producing the watched value (e.g. a bound
+        evaluator's NDCG@20); falls back to the (negated) epoch loss when
+        omitted, so "loss stopped decreasing" is the default criterion.
+    patience:
+        Number of consecutive non-improving epochs tolerated.
+    min_delta:
+        Improvement smaller than this counts as no improvement.
+    every:
+        Evaluate only every N epochs (evaluation can be costly).
+    """
+
+    def __init__(
+        self,
+        evaluate: Optional[Callable[[object], float]] = None,
+        *,
+        patience: int = 5,
+        min_delta: float = 0.0,
+        every: int = 1,
+    ) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.evaluate = evaluate
+        self.patience = int(patience)
+        self.min_delta = check_non_negative(min_delta, "min_delta")
+        self.every = int(every)
+        self.best_value = -float("inf")
+        self.best_epoch = -1
+        self._stale = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_epoch_end(self, stats: EpochStats, model) -> None:
+        if (stats.epoch + 1) % self.every != 0:
+            return
+        value = (
+            -stats.mean_loss if self.evaluate is None else float(self.evaluate(model))
+        )
+        if value > self.best_value + self.min_delta:
+            self.best_value = value
+            self.best_epoch = stats.epoch
+            self._stale = 0
+            return
+        self._stale += 1
+        if self._stale >= self.patience:
+            self.stopped_epoch = stats.epoch
+            raise StopTraining(
+                f"no improvement for {self._stale} evaluations "
+                f"(best {self.best_value:.6f} at epoch {self.best_epoch})"
+            )

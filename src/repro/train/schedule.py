@@ -1,0 +1,93 @@
+"""Scalar schedules: learning-rate decay and the λ warm start (BNS-1).
+
+A :class:`Schedule` maps an epoch index to a scalar.  Two users:
+
+* the trainer updates the optimizer's learning rate each epoch (the paper
+  decays LightGCN's LR by 0.1 every 20 epochs);
+* :class:`repro.samplers.bns.BayesianNegativeSampler` reads its trade-off
+  weight λ from a schedule — a constant for standard BNS, or the paper's
+  warm start ``λ(epoch) = max(λ₀ − α·epoch, floor)`` for BNS-1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["Schedule", "ConstantSchedule", "StepDecay", "WarmStartLambda"]
+
+
+class Schedule(ABC):
+    """Epoch-indexed scalar."""
+
+    @abstractmethod
+    def value(self, epoch: int) -> float:
+        """The scalar at the given 0-based epoch."""
+
+    def __call__(self, epoch: int) -> float:
+        return self.value(epoch)
+
+
+class ConstantSchedule(Schedule):
+    """Always the same value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = float(value)
+
+    def value(self, epoch: int) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self._value})"
+
+
+class StepDecay(Schedule):
+    """``initial · rate^(epoch // every)`` — LightGCN's LR decay."""
+
+    def __init__(self, initial: float, rate: float = 0.1, every: int = 20) -> None:
+        self.initial = check_positive(initial, "initial")
+        self.rate = check_positive(rate, "rate")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+
+    def value(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        return self.initial * self.rate ** (epoch // self.every)
+
+    def __repr__(self) -> str:
+        return f"StepDecay({self.initial}, rate={self.rate}, every={self.every})"
+
+
+class WarmStartLambda(Schedule):
+    """BNS-1: ``λ(epoch) = max(start − alpha·epoch, floor)``.
+
+    Large λ early (chase hard/true negatives while false-negative risk is
+    low because the model cannot rank yet), smaller λ later (the trained
+    model concentrates false negatives at the top, so avoid them).
+    Paper defaults: start 10, alpha 0.1, floor 2.
+    """
+
+    def __init__(
+        self, start: float = 10.0, alpha: float = 0.1, floor: float = 2.0
+    ) -> None:
+        self.start = check_non_negative(start, "start")
+        self.alpha = check_non_negative(alpha, "alpha")
+        self.floor = check_non_negative(floor, "floor")
+        if floor > start:
+            raise ValueError(
+                f"floor ({floor}) must not exceed start ({start})"
+            )
+
+    def value(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        return max(self.start - self.alpha * epoch, self.floor)
+
+    def __repr__(self) -> str:
+        return (
+            f"WarmStartLambda(start={self.start}, alpha={self.alpha}, "
+            f"floor={self.floor})"
+        )

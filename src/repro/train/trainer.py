@@ -1,0 +1,201 @@
+"""The pairwise training loop (outer loop of the paper's Algorithm 1).
+
+Each epoch shuffles the training pairs, forms mini-batches, groups every
+batch by user, computes each user's score vector once when the sampler
+needs it, lets the sampler pick one negative per positive, and takes a BPR
+step.  ``batch_size=1`` reproduces the paper's per-triple SGD for MF;
+larger batches vectorize the same computation (the paper uses 128/1024 for
+LightGCN).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ImplicitDataset
+from repro.samplers.base import NegativeSampler
+from repro.train.callbacks import Callback, EpochStats
+from repro.train.early_stopping import StopTraining
+from repro.train.optimizer import SGD, Optimizer
+from repro.train.schedule import ConstantSchedule, Schedule
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["TrainingConfig", "Trainer"]
+
+_LOGGER = get_logger("train.trainer")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    Defaults follow the paper's MF setup: ``d=32`` (on the model),
+    ``lr=0.01``, ``reg=0.01``, 100 epochs, batch size 1.
+    """
+
+    epochs: int = 100
+    batch_size: int = 1
+    lr: float = 0.01
+    reg: float = 0.01
+    seed: Optional[int] = 0
+    lr_schedule: Optional[Schedule] = None
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.epochs, "epochs")
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.lr, "lr")
+        check_non_negative(self.reg, "reg")
+
+    def resolve_lr_schedule(self) -> Schedule:
+        """The LR schedule (constant at ``lr`` unless one was given)."""
+        if self.lr_schedule is not None:
+            return self.lr_schedule
+        return ConstantSchedule(self.lr)
+
+
+class Trainer:
+    """Train a :class:`~repro.models.base.ScoreModel` with negative sampling.
+
+    Parameters
+    ----------
+    model, dataset, sampler:
+        The three participants; the sampler is bound to (dataset, model)
+        with a generator spawned from ``config.seed``.
+    config:
+        Hyper-parameters.
+    optimizer:
+        Defaults to plain SGD at ``config.lr`` (the paper's MF choice);
+        pass :class:`~repro.train.optimizer.Adam` for LightGCN.
+    callbacks:
+        Observers receiving :class:`EpochStats` after each epoch.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: ImplicitDataset,
+        sampler: NegativeSampler,
+        config: TrainingConfig = TrainingConfig(),
+        *,
+        optimizer: Optional[Optimizer] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.sampler = sampler
+        self.config = config
+        self.optimizer = optimizer if optimizer is not None else SGD(config.lr)
+        self.callbacks: List[Callback] = list(callbacks)
+        self._rng = as_rng(config.seed)
+        sampler.bind(dataset, model, self._rng)
+        self.history: List[EpochStats] = []
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self) -> List[EpochStats]:
+        """Run the configured number of epochs; returns per-epoch stats."""
+        users_all, pos_all = self.dataset.train.pairs()
+        if users_all.size == 0:
+            raise ValueError("cannot train on an empty training set")
+        lr_schedule = self.config.resolve_lr_schedule()
+
+        for callback in self.callbacks:
+            callback.on_train_start(self)
+
+        for epoch in range(self.config.epochs):
+            started = time.perf_counter()
+            self.optimizer.lr = lr_schedule.value(epoch)
+            self.sampler.on_epoch_start(epoch)
+            stats = self._run_epoch(epoch, users_all, pos_all, started)
+            self.history.append(stats)
+            try:
+                for callback in self.callbacks:
+                    callback.on_epoch_end(stats, self.model)
+            except StopTraining as signal:
+                _LOGGER.info("early stop after epoch %d: %s", epoch, signal)
+                break
+            _LOGGER.debug(
+                "epoch %d: loss=%.4f info=%.4f (%.2fs)",
+                epoch,
+                stats.mean_loss,
+                stats.mean_info,
+                stats.duration_seconds,
+            )
+
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        users_all: np.ndarray,
+        pos_all: np.ndarray,
+        started: float,
+    ) -> EpochStats:
+        n = users_all.size
+        if self.config.shuffle:
+            order = self._rng.permutation(n)
+        else:
+            order = np.arange(n)
+        batch_size = self.config.batch_size
+
+        neg_out = np.empty(n, dtype=np.int64)
+        info_out = np.empty(n, dtype=np.float64)
+        loss_sum = 0.0
+
+        for start in range(0, n, batch_size):
+            batch_idx = order[start : start + batch_size]
+            batch_users = users_all[batch_idx]
+            batch_pos = pos_all[batch_idx]
+            batch_neg = self._sample_negatives(batch_users, batch_pos)
+            info = self.model.train_step(
+                batch_users, batch_pos, batch_neg, self.optimizer, self.config.reg
+            )
+            neg_out[start : start + batch_idx.size] = batch_neg
+            info_out[start : start + batch_idx.size] = info
+            # loss = −ln σ(diff) = −ln(1 − info); clip keeps info→1 finite.
+            loss_sum += float(-np.log(np.clip(1.0 - info, 1e-12, None)).sum())
+
+        # Reorder the recorded triples back to epoch execution order
+        # (they are already in execution order; users/pos follow `order`).
+        return EpochStats(
+            epoch=epoch,
+            users=users_all[order],
+            pos_items=pos_all[order],
+            neg_items=neg_out,
+            info=info_out,
+            mean_loss=loss_sum / n,
+            lr=self.optimizer.lr,
+            duration_seconds=time.perf_counter() - started,
+        )
+
+    def _sample_negatives(
+        self, batch_users: np.ndarray, batch_pos: np.ndarray
+    ) -> np.ndarray:
+        """One negative per (user, positive), grouping score reuse by user."""
+        negatives = np.empty(batch_users.size, dtype=np.int64)
+        if batch_users.size == 1:
+            user = int(batch_users[0])
+            scores = self.model.scores(user) if self.sampler.needs_scores else None
+            negatives[0] = self.sampler.sample_for_user(user, batch_pos, scores)[0]
+            return negatives
+        unique_users = np.unique(batch_users)
+        for user in unique_users:
+            mask = batch_users == user
+            scores = (
+                self.model.scores(int(user)) if self.sampler.needs_scores else None
+            )
+            negatives[mask] = self.sampler.sample_for_user(
+                int(user), batch_pos[mask], scores
+            )
+        return negatives

@@ -1,0 +1,47 @@
+"""Library logging configuration.
+
+The library itself never configures the root logger; it only emits through
+namespaced loggers under ``repro.*``.  :func:`get_logger` attaches a
+``NullHandler`` so importing the library stays silent unless an application
+(or the experiment harness) opts in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a namespaced logger, creating the silent root on first use."""
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    Returns the handler so callers (and tests) can detach it again.
+    Calling twice replaces the previous console handler rather than
+    duplicating output.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_console", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,45 @@
+"""Tiny wall-clock timer used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds measured by the last completed ``with`` block."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

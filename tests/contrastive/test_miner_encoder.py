@@ -1,0 +1,195 @@
+"""Tests for the contrastive miners, encoder and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.contrastive.encoder import ContrastiveTrainer, LinearEncoder
+from repro.contrastive.miner import BayesianMiner, HardestMiner, UniformMiner
+from repro.contrastive.synthetic import (
+    AugmentedViewsTask,
+    alignment,
+    prototype_accuracy,
+    uniformity,
+)
+
+
+@pytest.fixture
+def pool(rng):
+    return rng.normal(size=(40, 8))
+
+
+@pytest.fixture
+def anchor(rng):
+    return rng.normal(size=8)
+
+
+class TestUniformMiner:
+    def test_count_and_uniqueness(self, anchor, pool):
+        chosen = UniformMiner(seed=0).select(anchor, pool, 10)
+        assert chosen.size == 10
+        assert np.unique(chosen).size == 10
+
+    def test_pool_too_small(self, anchor):
+        with pytest.raises(ValueError, match="cannot supply"):
+            UniformMiner(seed=0).select(anchor, np.zeros((3, 8)), 5)
+
+    def test_n_negatives_validated(self, anchor, pool):
+        with pytest.raises(ValueError):
+            UniformMiner(seed=0).select(anchor, pool, 0)
+
+
+class TestHardestMiner:
+    def test_selects_top_similarity(self, anchor, pool):
+        chosen = HardestMiner(seed=0).select(anchor, pool, 5)
+        sims = pool @ anchor
+        top5 = set(np.argsort(-sims)[:5].tolist())
+        assert set(chosen.tolist()) == top5
+
+
+class TestBayesianMiner:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            BayesianMiner(prior_fn=1.5)
+        with pytest.raises(ValueError):
+            BayesianMiner(weight=-1)
+
+    def test_count(self, anchor, pool):
+        chosen = BayesianMiner(prior_fn=0.1, seed=0).select(anchor, pool, 6)
+        assert chosen.size == 6
+
+    def test_avoids_top_of_ranking_more_than_hardest(self, anchor, pool):
+        sims = pool @ anchor
+        ranks = np.argsort(np.argsort(-sims))  # 0 = most similar
+        hardest = HardestMiner(seed=0).select(anchor, pool, 5)
+        bayesian = BayesianMiner(prior_fn=0.3, weight=2.0, seed=0).select(
+            anchor, pool, 5
+        )
+        assert ranks[bayesian].mean() > ranks[hardest].mean()
+
+    def test_oracle_prior_override_avoids_false_negatives(self, anchor, pool, rng):
+        """Per-candidate priors steer selection away from flagged entries."""
+        flagged = np.zeros(pool.shape[0], dtype=bool)
+        flagged[:10] = True
+        prior = np.where(flagged, 0.95, 0.02)
+        chosen = BayesianMiner(weight=2.0, seed=0).select(
+            anchor, pool, 8, prior_override=prior
+        )
+        assert not flagged[chosen].any()
+
+
+class TestLinearEncoder:
+    def test_unit_norm(self, rng):
+        encoder = LinearEncoder(10, 4, seed=0)
+        embeddings = encoder.encode(rng.normal(size=(7, 10)))
+        assert np.allclose(np.linalg.norm(embeddings, axis=1), 1.0)
+
+    def test_backward_matches_numerical(self, rng):
+        """∂L/∂W through the normalization vs finite differences, for a
+        probe loss L = v · e with a fixed random v."""
+        encoder = LinearEncoder(5, 3, seed=0)
+        x = rng.normal(size=(1, 5))
+        v = rng.normal(size=3)
+
+        grad = encoder.backward(x, v.reshape(1, 3))
+        eps = 1e-6
+        for i in range(5):
+            for j in range(3):
+                encoder.weights[i, j] += eps
+                up = float(encoder.encode(x)[0] @ v)
+                encoder.weights[i, j] -= 2 * eps
+                down = float(encoder.encode(x)[0] @ v)
+                encoder.weights[i, j] += eps
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad[i, j], abs=1e-5)
+
+
+class TestTrainerAndTask:
+    @pytest.fixture(scope="class")
+    def task_data(self):
+        task = AugmentedViewsTask(n_classes=4, n_features=16, noise=0.2)
+        return task, task.sample(40, 80, seed=0)
+
+    def test_training_reduces_loss(self, task_data):
+        task, (anchors, positives, pool, a_labels, p_labels) = task_data
+        encoder = LinearEncoder(16, 8, seed=1)
+        trainer = ContrastiveTrainer(encoder, UniformMiner(seed=2), lr=0.05, seed=3)
+        history = trainer.fit(anchors, positives, pool, epochs=6)
+        assert history[-1].mean_loss < history[0].mean_loss
+
+    def test_bayesian_miner_below_hardest_fn_rate(self, task_data):
+        task, (anchors, positives, pool, a_labels, p_labels) = task_data
+
+        def final_fn_rate(miner):
+            encoder = LinearEncoder(16, 8, seed=1)
+            trainer = ContrastiveTrainer(encoder, miner, n_negatives=5, seed=3)
+            history = trainer.fit(
+                anchors, positives, pool, epochs=4,
+                anchor_labels=a_labels, pool_labels=p_labels,
+            )
+            return history[-1].false_negative_rate
+
+        bayesian = final_fn_rate(
+            BayesianMiner(prior_fn=task.false_negative_rate(), weight=5.0, seed=2)
+        )
+        hardest = final_fn_rate(HardestMiner(seed=2))
+        assert bayesian < hardest
+
+    def test_learns_class_structure(self, task_data):
+        task, (anchors, positives, pool, a_labels, p_labels) = task_data
+        encoder = LinearEncoder(16, 8, seed=1)
+        trainer = ContrastiveTrainer(
+            encoder,
+            BayesianMiner(prior_fn=task.false_negative_rate(), seed=2),
+            lr=0.05,
+            seed=3,
+        )
+        trainer.fit(anchors, positives, pool, epochs=10)
+        embeddings = encoder.encode(anchors)
+        prototypes = encoder.encode(task.prototypes(seed=0))
+        assert prototype_accuracy(embeddings, a_labels, prototypes) > 0.8
+
+    def test_parallel_validation(self, task_data):
+        task, (anchors, positives, pool, _, _) = task_data
+        encoder = LinearEncoder(16, 8, seed=1)
+        trainer = ContrastiveTrainer(encoder, UniformMiner(seed=0), seed=0)
+        with pytest.raises(ValueError, match="parallel"):
+            trainer.fit(anchors, positives[:-1], pool, epochs=1)
+
+
+class TestTaskMetrics:
+    def test_alignment_zero_for_identical(self, rng):
+        e = rng.normal(size=(5, 4))
+        assert alignment(e, e) == 0.0
+
+    def test_alignment_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            alignment(rng.normal(size=(5, 4)), rng.normal(size=(4, 4)))
+
+    def test_uniformity_favours_spread(self, rng):
+        clustered = np.tile(rng.normal(size=(1, 4)), (10, 1))
+        clustered /= np.linalg.norm(clustered, axis=1, keepdims=True)
+        spread = rng.normal(size=(10, 4))
+        spread /= np.linalg.norm(spread, axis=1, keepdims=True)
+        assert uniformity(spread) < uniformity(clustered)
+
+    def test_uniformity_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            uniformity(rng.normal(size=(1, 4)))
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError, match="orthogonal"):
+            AugmentedViewsTask(n_classes=10, n_features=4)
+
+    def test_prototypes_orthonormal(self):
+        task = AugmentedViewsTask(n_classes=5, n_features=12)
+        prototypes = task.prototypes(seed=0)
+        gram = prototypes @ prototypes.T
+        assert np.allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_sample_shapes(self):
+        task = AugmentedViewsTask(n_classes=3, n_features=8)
+        anchors, positives, pool, a_labels, p_labels = task.sample(10, 20, seed=0)
+        assert anchors.shape == positives.shape == (10, 8)
+        assert pool.shape == (20, 8)
+        assert a_labels.shape == (10,)
+        assert p_labels.shape == (20,)

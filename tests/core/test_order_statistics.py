@@ -1,0 +1,103 @@
+"""Tests for repro.core.order_statistics (Eq. 9–10, Proposition 0.1)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.order_statistics import (
+    false_negative_density,
+    true_negative_density,
+    verify_density_normalization,
+)
+
+
+class TestDensities:
+    def test_tn_formula(self):
+        base = stats.norm(0, 1)
+        x = np.linspace(-3, 3, 7)
+        expected = 2 * base.pdf(x) * (1 - base.cdf(x))
+        assert np.allclose(true_negative_density(x, base.pdf, base.cdf), expected)
+
+    def test_fn_formula(self):
+        base = stats.norm(0, 1)
+        x = np.linspace(-3, 3, 7)
+        expected = 2 * base.pdf(x) * base.cdf(x)
+        assert np.allclose(false_negative_density(x, base.pdf, base.cdf), expected)
+
+    def test_non_negative(self):
+        base = stats.gamma(2.0)
+        x = np.linspace(0, 10, 50)
+        assert np.all(true_negative_density(x, base.pdf, base.cdf) >= 0)
+        assert np.all(false_negative_density(x, base.pdf, base.cdf) >= 0)
+
+    def test_sum_is_twice_base(self):
+        """g + h = 2f — the pair's min and max together cover both draws."""
+        base = stats.norm(1.0, 2.0)
+        x = np.linspace(-5, 7, 30)
+        total = true_negative_density(x, base.pdf, base.cdf) + false_negative_density(
+            x, base.pdf, base.cdf
+        )
+        assert np.allclose(total, 2 * base.pdf(x))
+
+    def test_crossover_at_median(self):
+        """g(x) = h(x) exactly where F(x) = 1/2."""
+        base = stats.norm(0, 1)
+        median = np.asarray([base.ppf(0.5)])
+        g = true_negative_density(median, base.pdf, base.cdf)
+        h = false_negative_density(median, base.pdf, base.cdf)
+        assert g[0] == pytest.approx(h[0])
+
+    def test_tn_dominates_below_median(self):
+        base = stats.norm(0, 1)
+        x = np.asarray([-1.0])
+        g = true_negative_density(x, base.pdf, base.cdf)
+        h = false_negative_density(x, base.pdf, base.cdf)
+        assert g[0] > h[0]
+
+    def test_fn_dominates_above_median(self):
+        base = stats.norm(0, 1)
+        x = np.asarray([1.0])
+        g = true_negative_density(x, base.pdf, base.cdf)
+        h = false_negative_density(x, base.pdf, base.cdf)
+        assert h[0] > g[0]
+
+
+class TestProposition01:
+    """Both order-statistic densities must integrate to one."""
+
+    @pytest.mark.parametrize(
+        "base, support",
+        [
+            (stats.norm(0, 1), (-np.inf, np.inf)),
+            (stats.norm(2.0, 0.5), (-np.inf, np.inf)),
+            (stats.t(5), (-np.inf, np.inf)),
+            (stats.gamma(2.0), (0, np.inf)),
+            (stats.uniform(0, 1), (0, 1)),
+            (stats.expon(), (0, np.inf)),
+        ],
+    )
+    def test_normalization(self, base, support):
+        integral_g, integral_h = verify_density_normalization(
+            base.pdf, base.cdf, support
+        )
+        assert integral_g == pytest.approx(1.0, abs=1e-6)
+        assert integral_h == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMonteCarloAgreement:
+    """The analytic densities must match min/max of simulated IID pairs."""
+
+    def test_histogram_matches_gaussian(self, rng):
+        base = stats.norm(0, 1)
+        draws = np.sort(rng.normal(size=(200_000, 2)), axis=1)
+        minima, maxima = draws[:, 0], draws[:, 1]
+        edges = np.linspace(-3, 3, 31)
+        centers = (edges[:-1] + edges[1:]) / 2
+        tn_hist, _ = np.histogram(minima, bins=edges, density=True)
+        fn_hist, _ = np.histogram(maxima, bins=edges, density=True)
+        assert np.allclose(
+            tn_hist, true_negative_density(centers, base.pdf, base.cdf), atol=0.02
+        )
+        assert np.allclose(
+            fn_hist, false_negative_density(centers, base.pdf, base.cdf), atol=0.02
+        )

@@ -1,0 +1,173 @@
+"""Tests for repro.data.interactions.InteractionMatrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.interactions import InteractionMatrix
+
+
+class TestConstruction:
+    def test_basic_shape(self, micro_train):
+        assert micro_train.shape == (4, 8)
+        assert micro_train.n_users == 4
+        assert micro_train.n_items == 8
+
+    def test_interaction_count(self, micro_train):
+        assert micro_train.n_interactions == 9
+
+    def test_duplicates_collapse(self):
+        matrix = InteractionMatrix(2, 3, [0, 0, 0], [1, 1, 2])
+        assert matrix.n_interactions == 2
+
+    def test_empty_matrix(self):
+        matrix = InteractionMatrix(3, 3, [], [])
+        assert matrix.n_interactions == 0
+        assert matrix.items_of(0).size == 0
+
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(ValueError, match="positive"):
+            InteractionMatrix(0, 3, [], [])
+
+    def test_rejects_out_of_range_user(self):
+        with pytest.raises(ValueError, match="user ids"):
+            InteractionMatrix(2, 3, [2], [0])
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ValueError, match="item ids"):
+            InteractionMatrix(2, 3, [0], [-1])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="parallel"):
+            InteractionMatrix(2, 3, [0, 1], [0])
+
+    def test_from_pairs(self):
+        matrix = InteractionMatrix.from_pairs([(0, 1), (1, 2)], 2, 3)
+        assert matrix.contains(0, 1)
+        assert matrix.contains(1, 2)
+
+    def test_from_pairs_empty(self):
+        matrix = InteractionMatrix.from_pairs([], 2, 3)
+        assert matrix.n_interactions == 0
+
+    def test_from_pairs_rejects_triples(self):
+        with pytest.raises(ValueError, match="2-tuples"):
+            InteractionMatrix.from_pairs([(0, 1, 2)], 2, 3)
+
+    def test_from_dense_round_trip(self):
+        dense = np.array([[1, 0, 1], [0, 1, 0]], dtype=np.int8)
+        matrix = InteractionMatrix.from_dense(dense)
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            InteractionMatrix.from_dense(np.ones(3))
+
+    def test_from_csr(self):
+        csr = sp.csr_matrix(np.array([[0, 2], [3, 0]]))
+        matrix = InteractionMatrix.from_csr(csr)
+        assert matrix.contains(0, 1)
+        assert matrix.contains(1, 0)
+        assert not matrix.contains(0, 0)
+
+
+class TestLookups:
+    def test_items_of_sorted(self, micro_train):
+        assert np.array_equal(micro_train.items_of(0), [0, 1, 2])
+        assert np.array_equal(micro_train.items_of(2), [4, 5, 6])
+
+    def test_items_of_out_of_range(self, micro_train):
+        with pytest.raises(IndexError):
+            micro_train.items_of(4)
+        with pytest.raises(IndexError):
+            micro_train.items_of(-1)
+
+    def test_users_of(self, micro_train):
+        assert np.array_equal(micro_train.users_of(2), [0, 1])
+        assert np.array_equal(micro_train.users_of(7), [3])
+
+    def test_users_of_out_of_range(self, micro_train):
+        with pytest.raises(IndexError):
+            micro_train.users_of(8)
+
+    def test_contains(self, micro_train):
+        assert micro_train.contains(0, 2)
+        assert not micro_train.contains(0, 3)
+        assert not micro_train.contains(3, 0)
+
+    def test_negative_mask(self, micro_train):
+        mask = micro_train.negative_mask(1)
+        assert not mask[2] and not mask[3]
+        assert mask.sum() == 6
+
+    def test_degree_of(self, micro_train):
+        assert micro_train.degree_of(0) == 3
+        assert micro_train.degree_of(3) == 1
+
+
+class TestAggregates:
+    def test_item_popularity(self, micro_train):
+        pop = micro_train.item_popularity
+        assert pop[2] == 2  # users 0 and 1
+        assert pop[7] == 1
+        assert pop.sum() == micro_train.n_interactions
+
+    def test_item_popularity_is_copy(self, micro_train):
+        pop = micro_train.item_popularity
+        pop[0] = 99
+        assert micro_train.item_popularity[0] != 99
+
+    def test_user_activity(self, micro_train):
+        assert np.array_equal(micro_train.user_activity, [3, 2, 3, 1])
+
+    def test_density(self, micro_train):
+        assert micro_train.density == pytest.approx(9 / 32)
+
+    def test_pairs_round_trip(self, micro_train):
+        users, items = micro_train.pairs()
+        rebuilt = InteractionMatrix(4, 8, users, items)
+        assert rebuilt == micro_train
+
+    def test_iter_pairs(self, micro_train):
+        pairs = set(micro_train.iter_pairs())
+        assert (0, 0) in pairs and (3, 7) in pairs
+        assert len(pairs) == 9
+
+    def test_tocsr_is_copy(self, micro_train):
+        csr = micro_train.tocsr()
+        csr.data[:] = 0
+        assert micro_train.n_interactions == 9
+
+
+class TestSetAlgebra:
+    def test_union(self, micro_train, micro_test):
+        union = micro_train.union(micro_test)
+        assert union.n_interactions == 13
+        assert union.contains(0, 5)
+        assert union.contains(0, 0)
+
+    def test_union_shape_mismatch(self, micro_train):
+        other = InteractionMatrix(4, 9, [0], [8])
+        with pytest.raises(ValueError, match="shape mismatch"):
+            micro_train.union(other)
+
+    def test_intersects_true(self, micro_train):
+        overlap = InteractionMatrix.from_pairs([(0, 0)], 4, 8)
+        assert micro_train.intersects(overlap)
+
+    def test_intersects_false(self, micro_train, micro_test):
+        assert not micro_train.intersects(micro_test)
+
+    def test_equality(self, micro_train):
+        users, items = micro_train.pairs()
+        clone = InteractionMatrix(4, 8, users, items)
+        assert clone == micro_train
+
+    def test_inequality_different_content(self, micro_train, micro_test):
+        assert micro_train != micro_test
+
+    def test_equality_not_implemented_for_other_types(self, micro_train):
+        assert micro_train.__eq__(42) is NotImplemented
+
+    def test_repr(self, micro_train):
+        assert "n_users=4" in repr(micro_train)

@@ -1,0 +1,151 @@
+"""Tests for the MovieLens / Yahoo!-R3 real-format parsers.
+
+Miniature fixture files in the exact published formats are written to a
+temp directory; the parsers must read them byte-for-byte correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import (
+    ML100K_ITEMS,
+    ML100K_USERS,
+    load_ml100k,
+    load_ml1m,
+    parse_rating_lines,
+)
+from repro.data.yahoo import TRAIN_FILE, TEST_FILE, YAHOO_ITEMS, YAHOO_USERS, load_yahoo_r3
+
+
+class TestParseRatingLines:
+    def test_tab_separated(self):
+        users, items, ratings = parse_rating_lines(
+            ["1\t2\t5\t881250949", "3\t4\t1\t891717742"], "\t"
+        )
+        assert np.array_equal(users, [0, 2])
+        assert np.array_equal(items, [1, 3])
+        assert np.array_equal(ratings, [5.0, 1.0])
+
+    def test_double_colon(self):
+        users, items, ratings = parse_rating_lines(["1::1193::5::978300760"], "::")
+        assert users[0] == 0 and items[0] == 1192 and ratings[0] == 5.0
+
+    def test_blank_lines_skipped(self):
+        users, _, _ = parse_rating_lines(["1\t1\t1", "", "  ", "2\t2\t2"], "\t")
+        assert users.size == 2
+
+    def test_too_few_fields(self):
+        with pytest.raises(ValueError, match="expected >=3 fields"):
+            parse_rating_lines(["1\t2"], "\t", source="u.data")
+
+    def test_malformed_number(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_rating_lines(["a\tb\tc"], "\t")
+
+    def test_error_names_source_and_line(self):
+        with pytest.raises(ValueError, match=r"fixture:2"):
+            parse_rating_lines(["1\t1\t1", "bad"], "\t", source="fixture")
+
+
+@pytest.fixture
+def ml100k_dir(tmp_path):
+    data = tmp_path / "ml-100k"
+    data.mkdir()
+    (data / "u.data").write_text(
+        "1\t1\t5\t874965758\n1\t2\t3\t876893171\n2\t1\t4\t888550871\n"
+        "943\t1682\t2\t875501812\n"
+    )
+    (data / "u.user").write_text(
+        "1|24|M|technician|85711\n2|53|F|other|94043\n943|22|M|student|77841\n"
+    )
+    return data
+
+
+class TestLoadML100K:
+    def test_universe_sizes(self, ml100k_dir):
+        log = load_ml100k(ml100k_dir)
+        assert log.n_users == ML100K_USERS
+        assert log.n_items == ML100K_ITEMS
+
+    def test_ids_zero_based(self, ml100k_dir):
+        log = load_ml100k(ml100k_dir)
+        assert log.user_ids.min() == 0
+        assert log.item_ids.max() == ML100K_ITEMS - 1
+
+    def test_ratings_parsed(self, ml100k_dir):
+        log = load_ml100k(ml100k_dir)
+        assert log.ratings[0] == 5.0
+
+    def test_occupations_indexed(self, ml100k_dir):
+        log = load_ml100k(ml100k_dir)
+        assert log.user_occupations is not None
+        names = log.occupation_names
+        assert "technician" in names and "student" in names
+        assert log.user_occupations[0] == names.index("technician")
+
+    def test_works_without_u_user(self, ml100k_dir):
+        (ml100k_dir / "u.user").unlink()
+        log = load_ml100k(ml100k_dir)
+        assert log.user_occupations is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ml100k(tmp_path)
+
+
+@pytest.fixture
+def ml1m_dir(tmp_path):
+    data = tmp_path / "ml-1m"
+    data.mkdir()
+    (data / "ratings.dat").write_text(
+        "1::1193::5::978300760\n1::661::3::978302109\n6040::3952::4::956704746\n"
+    )
+    return data
+
+
+class TestLoadML1M:
+    def test_parses(self, ml1m_dir):
+        log = load_ml1m(ml1m_dir)
+        assert log.n_events == 3
+        assert log.n_users == 6040
+        assert log.n_items == 3952
+
+    def test_last_ids(self, ml1m_dir):
+        log = load_ml1m(ml1m_dir)
+        assert log.user_ids[-1] == 6039
+        assert log.item_ids[-1] == 3951
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ml1m(tmp_path)
+
+
+@pytest.fixture
+def yahoo_dir(tmp_path):
+    data = tmp_path / "yahoo-r3"
+    data.mkdir()
+    (data / TRAIN_FILE).write_text("1\t1\t5\n2\t2\t1\n5400\t1000\t3\n")
+    (data / TEST_FILE).write_text("3\t3\t2\n")
+    return data
+
+
+class TestLoadYahooR3:
+    def test_merges_train_and_test_files(self, yahoo_dir):
+        log = load_yahoo_r3(yahoo_dir)
+        assert log.n_events == 4
+        assert log.n_users == YAHOO_USERS
+        assert log.n_items == YAHOO_ITEMS
+
+    def test_test_file_optional(self, yahoo_dir):
+        (yahoo_dir / TEST_FILE).unlink()
+        log = load_yahoo_r3(yahoo_dir)
+        assert log.n_events == 3
+
+    def test_out_of_universe_rows_dropped(self, yahoo_dir):
+        (yahoo_dir / TRAIN_FILE).write_text("1\t1\t5\n9999\t1\t5\n1\t5000\t2\n")
+        log = load_yahoo_r3(yahoo_dir)
+        assert log.n_events == 2  # the 9999-user and 5000-item rows dropped
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_yahoo_r3(tmp_path)

@@ -1,0 +1,115 @@
+"""Tests for repro.data.popularity."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.data.popularity import (
+    fit_zipf_exponent,
+    gini_coefficient,
+    interaction_ratio,
+    popularity_distribution,
+)
+
+
+@pytest.fixture
+def skewed(rng):
+    """100 users, 50 items, popularity ∝ 1/rank."""
+    weights = 1.0 / np.arange(1, 51)
+    weights /= weights.sum()
+    users, items = [], []
+    for user in range(100):
+        chosen = rng.choice(50, size=10, replace=False, p=weights)
+        users.extend([user] * 10)
+        items.extend(chosen.tolist())
+    return InteractionMatrix(100, 50, users, items)
+
+
+class TestPopularityDistribution:
+    def test_sums_to_one(self, skewed):
+        dist = popularity_distribution(skewed)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_orders_by_popularity(self, skewed):
+        dist = popularity_distribution(skewed)
+        pop = skewed.item_popularity
+        assert dist[np.argmax(pop)] == dist.max()
+
+    def test_exponent_zero_uniform_over_popular(self, micro_train):
+        dist = popularity_distribution(micro_train, exponent=0.0)
+        popular = micro_train.item_popularity > 0
+        assert np.allclose(dist[popular], dist[popular][0])
+
+    def test_exponent_tempering(self, skewed):
+        sharp = popularity_distribution(skewed, exponent=1.0)
+        flat = popularity_distribution(skewed, exponent=0.5)
+        assert sharp.max() > flat.max()
+
+    def test_empty_matrix_uniform(self):
+        empty = InteractionMatrix(3, 4, [], [])
+        dist = popularity_distribution(empty)
+        assert np.allclose(dist, 0.25)
+
+    def test_negative_exponent_rejected(self, micro_train):
+        with pytest.raises(ValueError):
+            popularity_distribution(micro_train, exponent=-1.0)
+
+
+class TestInteractionRatio:
+    def test_eq17(self, micro_train):
+        ratio = interaction_ratio(micro_train)
+        assert ratio[2] == pytest.approx(2 / 9)
+        assert ratio[7] == pytest.approx(1 / 9)
+
+    def test_sums_to_one(self, micro_train):
+        assert interaction_ratio(micro_train).sum() == pytest.approx(1.0)
+
+    def test_empty(self):
+        empty = InteractionMatrix(2, 3, [], [])
+        assert np.array_equal(interaction_ratio(empty), np.zeros(3))
+
+
+class TestGiniCoefficient:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            gini_coefficient(np.asarray([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gini_coefficient(np.asarray([1.0, -1.0]))
+
+    def test_scale_invariant(self, rng):
+        values = rng.random(50)
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 7.3)
+        )
+
+
+class TestFitZipf:
+    def test_recovers_planted_exponent(self):
+        pop = 1000.0 * np.arange(1, 201) ** (-0.8)
+        assert fit_zipf_exponent(pop, top_fraction=1.0) == pytest.approx(0.8, abs=0.01)
+
+    def test_shuffled_input_ok(self, rng):
+        pop = 1000.0 * np.arange(1, 201) ** (-1.2)
+        rng.shuffle(pop)
+        assert fit_zipf_exponent(pop, top_fraction=1.0) == pytest.approx(1.2, abs=0.01)
+
+    def test_needs_three_items(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_zipf_exponent(np.asarray([5.0, 2.0]))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="top_fraction"):
+            fit_zipf_exponent(np.ones(10), top_fraction=0.0)

@@ -1,0 +1,107 @@
+"""Tests for repro.eval.protocol.Evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import Evaluator
+
+
+class OracleModel:
+    """Scores items by whether they are the user's test positives."""
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+        self.n_items = dataset.n_items
+
+    def scores(self, user):
+        scores = np.zeros(self.n_items)
+        scores[self.dataset.test.items_of(user)] = 1.0
+        # deterministic tiny tie-break so rankings are stable
+        scores += np.arange(self.n_items) * 1e-9
+        return scores
+
+
+class AntiOracleModel(OracleModel):
+    def scores(self, user):
+        return -super().scores(user)
+
+
+class TestEvaluator:
+    def test_oracle_has_perfect_recall_at_large_k(self, micro_dataset):
+        evaluator = Evaluator(micro_dataset, ks=(5,))
+        metrics = evaluator.evaluate(OracleModel(micro_dataset))
+        assert metrics["recall@5"] == pytest.approx(1.0)
+        assert metrics["ndcg@5"] == pytest.approx(1.0)
+
+    def test_anti_oracle_scores_zero_at_small_k(self, micro_dataset):
+        evaluator = Evaluator(micro_dataset, ks=(1,))
+        metrics = evaluator.evaluate(AntiOracleModel(micro_dataset))
+        assert metrics["recall@1"] == 0.0
+
+    def test_metric_keys(self, micro_dataset, micro_model):
+        evaluator = Evaluator(micro_dataset, ks=(2, 4))
+        metrics = evaluator.evaluate(micro_model)
+        assert set(metrics) == {
+            "precision@2", "recall@2", "ndcg@2",
+            "precision@4", "recall@4", "ndcg@4",
+        }
+
+    def test_extra_metrics(self, micro_dataset, micro_model):
+        evaluator = Evaluator(micro_dataset, ks=(3,), extra_metrics=True)
+        metrics = evaluator.evaluate(micro_model)
+        for key in ("hitrate@3", "map@3", "mrr", "auc"):
+            assert key in metrics
+
+    def test_oracle_auc_is_one(self, micro_dataset):
+        evaluator = Evaluator(micro_dataset, ks=(3,), extra_metrics=True)
+        metrics = evaluator.evaluate(OracleModel(micro_dataset))
+        assert metrics["auc"] == pytest.approx(1.0)
+
+    def test_values_in_unit_interval(self, micro_dataset, micro_model):
+        evaluator = Evaluator(micro_dataset, ks=(1, 3, 5), extra_metrics=True)
+        metrics = evaluator.evaluate(micro_model)
+        for key, value in metrics.items():
+            assert 0.0 <= value <= 1.0, key
+
+    def test_max_users_caps_evaluation(self, micro_dataset):
+        calls = []
+
+        class Probe(OracleModel):
+            def scores(self, user):
+                calls.append(user)
+                return super().scores(user)
+
+        Evaluator(micro_dataset, ks=(2,), max_users=2).evaluate(Probe(micro_dataset))
+        assert len(set(calls)) == 2
+
+    def test_ks_validated(self, micro_dataset):
+        with pytest.raises(ValueError):
+            Evaluator(micro_dataset, ks=())
+        with pytest.raises(ValueError):
+            Evaluator(micro_dataset, ks=(0,))
+
+    def test_no_evaluable_users_rejected(self, micro_train):
+        from repro.data.dataset import ImplicitDataset
+        from repro.data.interactions import InteractionMatrix
+
+        empty_test = InteractionMatrix(4, 8, [], [])
+        dataset = ImplicitDataset(micro_train, empty_test)
+        with pytest.raises(ValueError, match="no users"):
+            Evaluator(dataset, ks=(2,)).evaluate(None)
+
+    def test_train_positives_never_recommended(self, micro_dataset):
+        """Even a model scoring train positives highest can't surface them."""
+
+        class TrainLover:
+            def __init__(self, dataset):
+                self.dataset = dataset
+
+            def scores(self, user):
+                scores = np.zeros(self.dataset.n_items)
+                scores[self.dataset.train.items_of(user)] = 10.0
+                return scores
+
+        evaluator = Evaluator(micro_dataset, ks=(3,))
+        metrics = evaluator.evaluate(TrainLover(micro_dataset))
+        # Train positives are masked → none of them counted as hits.
+        assert metrics["precision@3"] <= 1 / 3

@@ -1,0 +1,172 @@
+"""Tests for repro.eval.ranking."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ranking import (
+    auc,
+    average_precision_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+RANKED = np.asarray([7, 3, 9, 1, 5])
+
+
+class TestPrecision:
+    def test_basic(self):
+        assert precision_at_k(RANKED, {3, 5}, 5) == pytest.approx(2 / 5)
+
+    def test_cutoff(self):
+        assert precision_at_k(RANKED, {5}, 3) == 0.0
+        assert precision_at_k(RANKED, {9}, 3) == pytest.approx(1 / 3)
+
+    def test_divides_by_k_even_when_short(self):
+        """Paper convention: denominator is k, not len(relevant)."""
+        assert precision_at_k(RANKED, {7}, 5) == pytest.approx(1 / 5)
+
+    def test_no_relevant(self):
+        assert precision_at_k(RANKED, set(), 5) == 0.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, {1}, 0)
+
+
+class TestRecall:
+    def test_basic(self):
+        assert recall_at_k(RANKED, {3, 5, 100}, 5) == pytest.approx(2 / 3)
+
+    def test_all_found(self):
+        assert recall_at_k(RANKED, {7, 3}, 5) == 1.0
+
+    def test_empty_relevant(self):
+        assert recall_at_k(RANKED, set(), 5) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_ranking(self):
+        assert ndcg_at_k(np.asarray([1, 2, 3]), {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        """Relevant at ranks 0 and 2 (0-based): DCG = 1 + 1/log2(4)."""
+        ranked = np.asarray([1, 8, 2, 9])
+        relevant = {1, 2}
+        dcg = 1 / np.log2(2) + 1 / np.log2(4)
+        idcg = 1 / np.log2(2) + 1 / np.log2(3)
+        assert ndcg_at_k(ranked, relevant, 4) == pytest.approx(dcg / idcg)
+
+    def test_worst_ranking_positive(self):
+        """Relevant item at the bottom still earns discounted credit."""
+        value = ndcg_at_k(np.asarray([9, 8, 7, 1]), {1}, 4)
+        assert 0 < value < 1
+
+    def test_empty_relevant(self):
+        assert ndcg_at_k(RANKED, set(), 5) == 0.0
+
+    def test_ideal_truncated_by_k(self):
+        """With more relevant items than k, the ideal uses only k slots."""
+        ranked = np.asarray([1, 2])
+        assert ndcg_at_k(ranked, {1, 2, 3, 4}, 2) == pytest.approx(1.0)
+
+    def test_monotone_in_rank_position(self):
+        better = ndcg_at_k(np.asarray([1, 8, 9]), {1}, 3)
+        worse = ndcg_at_k(np.asarray([8, 9, 1]), {1}, 3)
+        assert better > worse
+
+
+class TestHitRate:
+    def test_hit(self):
+        assert hit_rate_at_k(RANKED, {9}, 5) == 1.0
+
+    def test_miss(self):
+        assert hit_rate_at_k(RANKED, {100}, 5) == 0.0
+
+
+class TestAveragePrecision:
+    def test_hand_computed(self):
+        """Hits at ranks 1 and 3 (1-based): AP = (1/1 + 2/3)/2... with the
+        hit positions at 0-based 0 and 2."""
+        ranked = np.asarray([1, 8, 2, 9])
+        ap = average_precision_at_k(ranked, {1, 2}, 4)
+        assert ap == pytest.approx((1 / 1 + 2 / 3) / 2)
+
+    def test_no_hits(self):
+        assert average_precision_at_k(RANKED, {100}, 5) == 0.0
+
+    def test_empty_relevant(self):
+        assert average_precision_at_k(RANKED, set(), 5) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first(self):
+        assert reciprocal_rank(RANKED, {7}) == 1.0
+
+    def test_third(self):
+        assert reciprocal_rank(RANKED, {9}) == pytest.approx(1 / 3)
+
+    def test_missing(self):
+        assert reciprocal_rank(RANKED, {100}) == 0.0
+
+    def test_empty(self):
+        assert reciprocal_rank(RANKED, set()) == 0.0
+
+
+class TestAUC:
+    def test_perfect(self):
+        scores = np.asarray([3.0, 2.0, 1.0, 0.0])
+        relevant = np.asarray([True, True, False, False])
+        candidates = np.ones(4, dtype=bool)
+        assert auc(scores, relevant, candidates) == 1.0
+
+    def test_inverted(self):
+        scores = np.asarray([0.0, 1.0, 2.0, 3.0])
+        relevant = np.asarray([True, True, False, False])
+        candidates = np.ones(4, dtype=bool)
+        assert auc(scores, relevant, candidates) == 0.0
+
+    def test_random_is_half(self, rng):
+        scores = rng.random(2000)
+        relevant = rng.random(2000) < 0.3
+        candidates = np.ones(2000, dtype=bool)
+        assert auc(scores, relevant, candidates) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_count_half(self):
+        scores = np.asarray([1.0, 1.0])
+        relevant = np.asarray([True, False])
+        candidates = np.ones(2, dtype=bool)
+        assert auc(scores, relevant, candidates) == 0.5
+
+    def test_candidate_mask_excludes(self):
+        """Excluded items must not affect the statistic."""
+        scores = np.asarray([3.0, 2.0, 1.0, 100.0])
+        relevant = np.asarray([True, False, False, False])
+        candidates = np.asarray([True, True, True, False])
+        assert auc(scores, relevant, candidates) == 1.0
+
+    def test_degenerate_returns_half(self):
+        scores = np.asarray([1.0, 2.0])
+        candidates = np.ones(2, dtype=bool)
+        assert auc(scores, np.asarray([True, True]), candidates) == 0.5
+        assert auc(scores, np.asarray([False, False]), candidates) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="identical length"):
+            auc(np.ones(3), np.ones(2, dtype=bool), np.ones(3, dtype=bool))
+
+    def test_matches_sklearn_style_formula(self, rng):
+        """Cross-check against the O(P·N) pairwise definition."""
+        scores = rng.normal(size=60)
+        relevant = rng.random(60) < 0.4
+        candidates = rng.random(60) < 0.9
+        pos = scores[relevant & candidates]
+        neg = scores[~relevant & candidates]
+        brute = np.mean([
+            1.0 if p > n else (0.5 if p == n else 0.0)
+            for p in pos
+            for n in neg
+        ])
+        assert auc(scores, relevant, candidates) == pytest.approx(brute)

@@ -1,0 +1,102 @@
+"""Tests for repro.eval.sampling_quality (Eq. 33–34)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.sampling_quality import (
+    SamplingQualityRecorder,
+    false_negative_flags,
+    informativeness_measure,
+    true_negative_rate,
+)
+from repro.train.callbacks import EpochStats
+
+
+class TestFalseNegativeFlags:
+    def test_flags_test_positives(self, micro_dataset):
+        users = np.asarray([0, 0, 1, 3])
+        items = np.asarray([5, 4, 0, 2])
+        flags = false_negative_flags(micro_dataset, users, items)
+        # (0,5) and (1,0) are test positives; (0,4) and (3,2) are not.
+        assert np.array_equal(flags, [True, False, True, False])
+
+    def test_parallel_validation(self, micro_dataset):
+        with pytest.raises(ValueError, match="parallel"):
+            false_negative_flags(micro_dataset, np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestTNR:
+    def test_eq33(self, micro_dataset):
+        users = np.asarray([0, 0, 1, 3])
+        items = np.asarray([5, 4, 0, 2])
+        # 2 TN out of 4 sampled.
+        assert true_negative_rate(micro_dataset, users, items) == 0.5
+
+    def test_all_true_negatives(self, micro_dataset):
+        users = np.asarray([0, 2])
+        items = np.asarray([3, 1])
+        assert true_negative_rate(micro_dataset, users, items) == 1.0
+
+    def test_empty_rejected(self, micro_dataset):
+        with pytest.raises(ValueError, match="zero sampled"):
+            true_negative_rate(micro_dataset, np.asarray([]), np.asarray([]))
+
+
+class TestINF:
+    def test_eq34_signs(self, micro_dataset):
+        users = np.asarray([0, 0])
+        items = np.asarray([5, 4])  # FN, TN
+        info = np.asarray([0.8, 0.6])
+        # INF = (0.6·1 + 0.8·(−1)) / 2
+        expected = (0.6 - 0.8) / 2
+        assert informativeness_measure(micro_dataset, users, items, info) == (
+            pytest.approx(expected)
+        )
+
+    def test_pure_tn_positive(self, micro_dataset):
+        users = np.asarray([0])
+        items = np.asarray([4])
+        assert informativeness_measure(
+            micro_dataset, users, items, np.asarray([0.5])
+        ) == pytest.approx(0.5)
+
+    def test_info_parallel_validation(self, micro_dataset):
+        with pytest.raises(ValueError, match="parallel"):
+            informativeness_measure(
+                micro_dataset, np.asarray([0]), np.asarray([4]), np.asarray([0.1, 0.2])
+            )
+
+
+class TestRecorder:
+    def make_stats(self, epoch, users, items, info):
+        n = len(users)
+        return EpochStats(
+            epoch=epoch,
+            users=np.asarray(users),
+            pos_items=np.zeros(n, dtype=np.int64),
+            neg_items=np.asarray(items),
+            info=np.asarray(info, dtype=np.float64),
+            mean_loss=0.0,
+            lr=0.01,
+            duration_seconds=0.0,
+        )
+
+    def test_records_per_epoch(self, micro_dataset):
+        recorder = SamplingQualityRecorder(micro_dataset)
+        recorder.on_epoch_end(
+            self.make_stats(0, [0, 0], [5, 4], [0.8, 0.6]), model=None
+        )
+        recorder.on_epoch_end(
+            self.make_stats(1, [2, 3], [1, 2], [0.5, 0.5]), model=None
+        )
+        assert len(recorder.records) == 2
+        assert recorder.records[0].tnr == 0.5
+        assert recorder.records[1].tnr == 1.0
+        assert recorder.records[0].n_false_negatives == 1
+
+    def test_series_properties(self, micro_dataset):
+        recorder = SamplingQualityRecorder(micro_dataset)
+        recorder.on_epoch_end(self.make_stats(0, [0], [4], [0.4]), model=None)
+        recorder.on_epoch_end(self.make_stats(1, [0], [5], [0.4]), model=None)
+        assert np.array_equal(recorder.tnr_series, [1.0, 0.0])
+        assert np.allclose(recorder.inf_series, [0.4, -0.4])

@@ -1,0 +1,120 @@
+"""Tests for repro.eval.significance."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    PairedComparison,
+    paired_bootstrap_test,
+    paired_sign_test,
+)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="user-by-user"):
+            paired_bootstrap_test(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            paired_sign_test(np.asarray([]), np.asarray([]))
+
+    def test_resample_count_validated(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test(np.ones(3), np.zeros(3), n_resamples=0)
+
+
+class TestBootstrap:
+    def test_clear_difference_significant(self, rng):
+        a = rng.normal(0.5, 0.05, size=200)
+        b = rng.normal(0.3, 0.05, size=200)
+        result = paired_bootstrap_test(a, b, seed=0)
+        assert result.significant
+        assert result.mean_difference > 0
+        assert result.p_value < 0.001
+
+    def test_identical_not_significant(self, rng):
+        a = rng.normal(0.5, 0.1, size=200)
+        result = paired_bootstrap_test(a, a.copy(), seed=0)
+        assert not result.significant
+        assert result.mean_difference == 0.0
+
+    def test_noise_only_not_significant(self, rng):
+        base = rng.normal(0.5, 0.1, size=100)
+        a = base + rng.normal(0, 0.2, size=100)
+        b = base + rng.normal(0, 0.2, size=100)
+        result = paired_bootstrap_test(a, b, seed=0)
+        assert result.p_value > 0.01  # no planted effect
+
+    def test_direction_symmetric(self, rng):
+        a = rng.normal(0.5, 0.05, size=100)
+        b = rng.normal(0.4, 0.05, size=100)
+        ab = paired_bootstrap_test(a, b, seed=0)
+        ba = paired_bootstrap_test(b, a, seed=0)
+        assert ab.mean_difference == pytest.approx(-ba.mean_difference)
+        assert ab.p_value == pytest.approx(ba.p_value, abs=0.01)
+
+    def test_reproducible(self, rng):
+        a = rng.normal(0.5, 0.1, size=50)
+        b = rng.normal(0.48, 0.1, size=50)
+        first = paired_bootstrap_test(a, b, seed=7)
+        second = paired_bootstrap_test(a, b, seed=7)
+        assert first.p_value == second.p_value
+
+    def test_fields(self, rng):
+        a, b = rng.random(20), rng.random(20)
+        result = paired_bootstrap_test(a, b, seed=0)
+        assert isinstance(result, PairedComparison)
+        assert result.n_users == 20
+        assert result.method == "paired-bootstrap"
+        assert result.mean_a == pytest.approx(a.mean())
+
+
+class TestSignTest:
+    def test_unanimous_wins(self):
+        a = np.full(20, 0.9)
+        b = np.full(20, 0.1)
+        result = paired_sign_test(a, b)
+        assert result.significant
+        assert result.p_value < 1e-4
+
+    def test_balanced_not_significant(self):
+        a = np.asarray([1.0, 0.0] * 10)
+        b = np.asarray([0.0, 1.0] * 10)
+        result = paired_sign_test(a, b)
+        assert not result.significant
+
+    def test_all_ties(self):
+        a = np.full(10, 0.5)
+        result = paired_sign_test(a, a.copy())
+        assert result.p_value == 1.0
+
+    def test_ties_dropped(self):
+        # 5 wins for a, 5 exact ties → decided n = 5, all wins.
+        a = np.asarray([1.0] * 5 + [0.5] * 5)
+        b = np.asarray([0.0] * 5 + [0.5] * 5)
+        result = paired_sign_test(a, b)
+        assert result.p_value == pytest.approx(2 * 0.5**5)
+
+
+class TestEndToEndWithEvaluator:
+    def test_per_user_arrays_feed_tests(self, micro_dataset, micro_model):
+        from repro.eval.protocol import Evaluator
+
+        evaluator = Evaluator(micro_dataset, ks=(3,))
+        per_user = evaluator.evaluate_per_user(micro_model)
+        n_users = micro_dataset.evaluable_users().size
+        assert per_user["ndcg@3"].shape == (n_users,)
+        same = paired_bootstrap_test(
+            per_user["ndcg@3"], per_user["ndcg@3"], seed=0
+        )
+        assert not same.significant
+
+    def test_evaluate_is_mean_of_per_user(self, micro_dataset, micro_model):
+        from repro.eval.protocol import Evaluator
+
+        evaluator = Evaluator(micro_dataset, ks=(2, 4))
+        averaged = evaluator.evaluate(micro_model)
+        per_user = evaluator.evaluate_per_user(micro_model)
+        for key, value in averaged.items():
+            assert value == pytest.approx(per_user[key].mean())

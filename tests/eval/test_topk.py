@@ -1,0 +1,63 @@
+"""Tests for repro.eval.topk."""
+
+import numpy as np
+import pytest
+
+from repro.eval.topk import ranked_items, top_k_items
+
+
+class TestTopKItems:
+    def test_orders_by_score(self):
+        scores = np.asarray([0.1, 0.9, 0.5, 0.7])
+        out = top_k_items(scores, np.asarray([], dtype=np.int64), 3)
+        assert np.array_equal(out, [1, 3, 2])
+
+    def test_excludes_train_positives(self):
+        scores = np.asarray([0.1, 0.9, 0.5, 0.7])
+        out = top_k_items(scores, np.asarray([1]), 3)
+        assert 1 not in out
+        assert np.array_equal(out, [3, 2, 0])
+
+    def test_truncates_to_eligible(self):
+        scores = np.asarray([0.1, 0.9, 0.5])
+        out = top_k_items(scores, np.asarray([0, 1]), 5)
+        assert np.array_equal(out, [2])
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            top_k_items(np.ones(3), np.asarray([]), 0)
+
+    def test_all_items_excluded(self):
+        out = top_k_items(np.ones(2), np.asarray([0, 1]), 1)
+        assert out.size == 0
+
+    def test_deterministic_for_ties(self):
+        scores = np.zeros(6)
+        a = top_k_items(scores, np.asarray([]), 3)
+        b = top_k_items(scores, np.asarray([]), 3)
+        assert np.array_equal(a, b)
+
+    def test_does_not_mutate_scores(self):
+        scores = np.asarray([0.3, 0.8])
+        top_k_items(scores, np.asarray([1]), 1)
+        assert scores[1] == 0.8
+
+
+class TestRankedItems:
+    def test_full_ranking(self):
+        scores = np.asarray([0.2, 0.9, 0.4])
+        out = ranked_items(scores, np.asarray([], dtype=np.int64))
+        assert np.array_equal(out, [1, 2, 0])
+
+    def test_excludes_positives(self):
+        scores = np.asarray([0.2, 0.9, 0.4])
+        out = ranked_items(scores, np.asarray([1]))
+        assert np.array_equal(out, [2, 0])
+
+    def test_agrees_with_topk(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(30)
+        positives = np.asarray([3, 7, 11])
+        full = ranked_items(scores, positives)
+        head = top_k_items(scores, positives, 10)
+        assert np.array_equal(full[:10], head)

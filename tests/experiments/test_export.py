@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert isinstance(to_jsonable(np.int64(3)), int)
+
+    def test_arrays(self):
+        assert to_jsonable(np.asarray([[1, 2], [3, 4]])) == [[1, 2], [3, 4]]
+
+    def test_nested_dict(self):
+        out = to_jsonable({"a": np.float32(1.5), "b": {"c": np.arange(2)}})
+        assert out == {"a": 1.5, "b": {"c": [0, 1]}}
+
+    def test_rows_protocol(self):
+        class WithRows:
+            def rows(self):
+                return [{"x": np.int64(1)}]
+
+        assert to_jsonable(WithRows()) == {"rows": [{"x": 1}]}
+
+    def test_metrics_protocol(self):
+        class WithMetrics:
+            metrics = {"ndcg@20": np.float64(0.4)}
+
+        assert to_jsonable(WithMetrics()) == {"metrics": {"ndcg@20": 0.4}}
+
+    def test_dataclass(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            value: float
+
+        assert to_jsonable(Row(0.25)) == {"value": 0.25}
+
+    def test_unconvertible(self):
+        with pytest.raises(TypeError, match="cannot convert"):
+            to_jsonable(object())
+
+
+class TestExportJson:
+    def test_round_trip(self, tmp_path):
+        path = export_json({"metric": 0.5}, tmp_path / "out.json", name="demo")
+        document = json.loads(path.read_text())
+        assert document["name"] == "demo"
+        assert document["payload"] == {"metric": 0.5}
+        assert "library_version" in document
+        assert "exported_at" in document
+
+    def test_artifact_export(self, tmp_path):
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(n_points=5)
+        path = export_json(result, tmp_path / "fig3.json", name="fig3")
+        document = json.loads(path.read_text())
+        assert "payload" in document
+
+    def test_table_result_export(self, tmp_path):
+        from repro.experiments.table1 import run_table1
+
+        result = run_table1(scale="unit", seed=0, datasets=("tiny",))
+        path = export_json(result, tmp_path / "table1.json", name="table1")
+        document = json.loads(path.read_text())
+        assert document["payload"]["rows"][0]["users"] == 32

@@ -1,0 +1,103 @@
+"""Consistency checks over the transcribed paper tables."""
+
+import pytest
+
+from repro.experiments.paper_values import (
+    METRIC_KEYS,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    metrics_from_row,
+)
+
+
+class TestMetricsFromRow:
+    def test_zips_in_order(self):
+        row = tuple(float(i) for i in range(9))
+        metrics = metrics_from_row(row)
+        assert metrics["precision@5"] == 0.0
+        assert metrics["ndcg@20"] == 8.0
+
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            metrics_from_row((1.0, 2.0))
+
+
+class TestTable2Transcription:
+    def test_complete_grid(self):
+        """6 samplers × 2 models × 3 datasets = 36 rows of 9 metrics."""
+        assert len(TABLE2) == 36
+        for metrics in TABLE2.values():
+            assert set(metrics) == set(METRIC_KEYS)
+
+    def test_all_values_are_probabilities(self):
+        for metrics in TABLE2.values():
+            for value in metrics.values():
+                assert 0.0 < value < 1.0
+
+    def test_bns_wins_ndcg20_everywhere(self):
+        """The paper's headline: BNS has the best NDCG@20 in all 6 blocks."""
+        for dataset in ("100K", "1M", "Yahoo"):
+            for model in ("MF", "LightGCN"):
+                group = {
+                    sampler: TABLE2[(dataset, model, sampler)]["ndcg@20"]
+                    for sampler in ("RNS", "PNS", "AOBPR", "DNS", "SRNS", "BNS")
+                }
+                assert max(group, key=group.get) == "BNS", (dataset, model)
+
+    def test_pns_is_weakest_on_100k(self):
+        for model in ("MF", "LightGCN"):
+            group = {
+                sampler: TABLE2[("100K", model, sampler)]["ndcg@20"]
+                for sampler in ("RNS", "PNS", "AOBPR", "DNS", "SRNS", "BNS")
+            }
+            assert min(group, key=group.get) == "PNS"
+
+    def test_lightgcn_beats_mf_on_rns(self):
+        """The paper notes LightGCN generally outperforms MF."""
+        for dataset in ("100K", "1M", "Yahoo"):
+            assert (
+                TABLE2[(dataset, "LightGCN", "RNS")]["ndcg@20"]
+                > TABLE2[(dataset, "MF", "RNS")]["ndcg@20"]
+            )
+
+
+class TestTable3Transcription:
+    def test_rows(self):
+        assert set(TABLE3) == {"RNS", "BNS", "BNS-1", "BNS-2", "BNS-3", "BNS-4"}
+
+    def test_variant_ordering(self):
+        """BNS-4 ≥ BNS > BNS-3 and BNS-1 ≥ BNS on NDCG@20 (paper claims)."""
+        assert TABLE3["BNS-4"]["ndcg@20"] >= TABLE3["BNS"]["ndcg@20"]
+        assert TABLE3["BNS-1"]["ndcg@20"] >= TABLE3["BNS"]["ndcg@20"]
+        assert TABLE3["BNS"]["ndcg@20"] > TABLE3["BNS-3"]["ndcg@20"]
+        assert TABLE3["BNS"]["ndcg@20"] > TABLE3["RNS"]["ndcg@20"]
+
+    def test_rns_row_matches_table2(self):
+        assert TABLE3["RNS"] == TABLE2[("100K", "MF", "RNS")]
+
+    def test_bns_row_matches_table2(self):
+        assert TABLE3["BNS"] == TABLE2[("100K", "MF", "BNS")]
+
+
+class TestTable4Transcription:
+    def test_sizes(self):
+        assert list(TABLE4) == ["1", "3", "5", "10", "20", "50", "100", "500", "all"]
+
+    def test_monotone_ndcg5(self):
+        """Approaching h* must not degrade ranking (paper's observation)."""
+        values = [TABLE4[size]["ndcg@5"] for size in TABLE4]
+        assert all(b >= a - 0.001 for a, b in zip(values, values[1:]))
+
+    def test_size_one_equals_rns(self):
+        assert TABLE4["1"] == TABLE2[("100K", "MF", "RNS")]
+
+
+class TestTable1Transcription:
+    def test_datasets(self):
+        assert set(TABLE1) == {"ml-100k", "ml-1m", "yahoo-r3"}
+
+    def test_80_20_splits(self):
+        for users, items, train, test in TABLE1.values():
+            assert train / (train + test) == pytest.approx(0.8, abs=0.01)

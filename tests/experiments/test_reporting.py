@@ -1,0 +1,76 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    rank_samplers,
+    shape_report,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}], ["a", "b"], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "0.5000" in text
+        assert "22" in text
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert "b" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_float_format(self):
+        text = format_table([{"x": 0.123456}], ["x"], float_format="{:.2f}")
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+    def test_no_rows(self):
+        text = format_table([], ["col"])
+        assert "col" in text
+
+
+class TestFormatSeries:
+    def test_rows_per_x(self):
+        text = format_series(
+            [0, 1], {"tnr": [0.9, 0.95], "inf": [0.5, 0.4]}, x_label="epoch"
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("epoch")
+        assert len(lines) == 4  # header + ruler + 2 rows
+
+    def test_values_rendered(self):
+        text = format_series([0], {"m": [0.1234]})
+        assert "0.1234" in text
+
+
+class TestRankSamplers:
+    def test_sorted_best_first(self):
+        metrics = {"a": {"m": 0.1}, "b": {"m": 0.9}, "c": {"m": 0.5}}
+        assert [name for name, _ in rank_samplers(metrics, "m")] == ["b", "c", "a"]
+
+
+class TestShapeReport:
+    def test_pass_and_fail(self):
+        metrics = {"good": {"m": 0.9}, "bad": {"m": 0.1}}
+        lines = shape_report(metrics, "m", [("good", "bad"), ("bad", "good")])
+        assert lines[0].startswith("[PASS]")
+        assert lines[1].startswith("[FAIL]")
+
+    def test_missing_skipped(self):
+        metrics = {"good": {"m": 0.9}}
+        lines = shape_report(metrics, "m", [("good", "absent")])
+        assert lines[0].startswith("[SKIP]")
+
+    def test_ties_pass(self):
+        metrics = {"a": {"m": 0.5}, "b": {"m": 0.5}}
+        assert shape_report(metrics, "m", [("a", "b")])[0].startswith("[PASS]")

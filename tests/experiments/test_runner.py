@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.runner."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.experiments.config import RunSpec
+from repro.experiments.runner import build_model, run_spec
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import MatrixFactorization
+from repro.train.optimizer import Adam, SGD
+
+
+UNIT_SPEC = RunSpec(dataset="tiny", epochs=3, batch_size=16, seed=0)
+
+
+class TestBuildModel:
+    def test_mf_uses_sgd(self, tiny_dataset):
+        model, optimizer, schedule = build_model(UNIT_SPEC, tiny_dataset)
+        assert isinstance(model, MatrixFactorization)
+        assert isinstance(optimizer, SGD)
+        assert schedule is None
+
+    def test_lightgcn_uses_adam_with_decay(self, tiny_dataset):
+        spec = RunSpec(dataset="tiny", model="lightgcn", epochs=3, seed=0)
+        model, optimizer, schedule = build_model(spec, tiny_dataset)
+        assert isinstance(model, LightGCN)
+        assert isinstance(optimizer, Adam)
+        assert schedule is not None
+        assert schedule.value(20) == pytest.approx(spec.lr * 0.1)
+
+
+class TestRunSpecExecution:
+    def test_metrics_present(self, tiny_dataset):
+        result = run_spec(UNIT_SPEC, tiny_dataset)
+        assert "ndcg@20" in result.metrics
+        assert len(result.loss_curve) == 3
+
+    def test_metric_lookup(self, tiny_dataset):
+        result = run_spec(UNIT_SPEC, tiny_dataset)
+        assert result.metric("ndcg@20") == result.metrics["ndcg@20"]
+        with pytest.raises(KeyError, match="not recorded"):
+            result.metric("nonexistent")
+
+    def test_dataset_loaded_when_missing(self):
+        result = run_spec(UNIT_SPEC)
+        assert result.metrics
+
+    def test_skip_evaluation(self, tiny_dataset):
+        result = run_spec(UNIT_SPEC, tiny_dataset, evaluate=False)
+        assert result.metrics == {}
+
+    def test_sampling_quality_recorder_attached(self, tiny_dataset):
+        result = run_spec(
+            UNIT_SPEC, tiny_dataset, record_sampling_quality=True, evaluate=False
+        )
+        assert result.sampling_quality is not None
+        assert len(result.sampling_quality.records) == UNIT_SPEC.epochs
+
+    def test_distribution_recorder_attached(self, tiny_dataset):
+        result = run_spec(
+            UNIT_SPEC, tiny_dataset, distribution_epochs=[0, 2], evaluate=False
+        )
+        assert sorted(result.distributions.snapshots) == [0, 2]
+
+    def test_sampler_kwargs_forwarded(self, tiny_dataset):
+        spec = RunSpec(
+            dataset="tiny",
+            sampler="dns",
+            sampler_kwargs=(("n_candidates", 2),),
+            epochs=2,
+            seed=0,
+        )
+        result = run_spec(spec, tiny_dataset, evaluate=False)
+        assert result.loss_curve
+
+    def test_reproducible(self, tiny_dataset):
+        a = run_spec(UNIT_SPEC, tiny_dataset)
+        b = run_spec(UNIT_SPEC, tiny_dataset)
+        assert a.metrics == b.metrics
+
+    def test_lightgcn_path(self, tiny_dataset):
+        spec = RunSpec(
+            dataset="tiny", model="lightgcn", epochs=2, batch_size=32, seed=0
+        )
+        result = run_spec(spec, tiny_dataset)
+        assert result.metrics["ndcg@20"] >= 0

@@ -1,0 +1,42 @@
+"""Tests for the ScoreModel base-class helpers."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import ScoreModel
+from repro.models.mf import MatrixFactorization
+
+
+class TestScoreMatrixDefault:
+    def test_all_users(self):
+        model = MatrixFactorization(4, 6, n_factors=3, seed=0)
+        matrix = model.score_matrix()
+        assert matrix.shape == (4, 6)
+        for user in range(4):
+            assert np.allclose(matrix[user], model.scores(user))
+
+    def test_subset(self):
+        model = MatrixFactorization(4, 6, n_factors=3, seed=0)
+        matrix = model.score_matrix(np.asarray([2, 0]))
+        assert matrix.shape == (2, 6)
+        assert np.allclose(matrix[0], model.scores(2))
+        assert np.allclose(matrix[1], model.scores(0))
+
+
+class TestTripleValidation:
+    def test_check_triple_arrays(self):
+        model = MatrixFactorization(3, 3, n_factors=2, seed=0)
+        users, pos, neg = model._check_triple_arrays([0], [1], [2])
+        assert users.dtype == np.int64
+        assert users.shape == pos.shape == neg.shape
+
+    def test_mismatch_raises(self):
+        model = MatrixFactorization(3, 3, n_factors=2, seed=0)
+        with pytest.raises(ValueError, match="parallel"):
+            model._check_triple_arrays([0, 1], [1], [2])
+
+
+class TestAbstractContract:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            ScoreModel()

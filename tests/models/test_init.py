@@ -1,0 +1,49 @@
+"""Tests for repro.models.init."""
+
+import numpy as np
+import pytest
+
+from repro.models.init import normal_init, xavier_init
+
+
+class TestNormalInit:
+    def test_shape(self):
+        assert normal_init(10, 4, seed=0).shape == (10, 4)
+
+    def test_scale(self):
+        table = normal_init(2000, 50, scale=0.1, seed=0)
+        assert table.std() == pytest.approx(0.1, abs=0.005)
+
+    def test_zero_mean(self):
+        table = normal_init(2000, 50, seed=0)
+        assert abs(table.mean()) < 0.005
+
+    def test_reproducible(self):
+        assert np.array_equal(normal_init(5, 3, seed=7), normal_init(5, 3, seed=7))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            normal_init(0, 4)
+        with pytest.raises(ValueError):
+            normal_init(4, 4, scale=0.0)
+
+
+class TestXavierInit:
+    def test_shape(self):
+        assert xavier_init(10, 4, seed=0).shape == (10, 4)
+
+    def test_bound(self):
+        n_rows, n_factors = 100, 20
+        bound = np.sqrt(6.0 / (n_rows + n_factors))
+        table = xavier_init(n_rows, n_factors, seed=0)
+        assert table.max() <= bound
+        assert table.min() >= -bound
+
+    def test_spread_fills_bound(self):
+        n_rows, n_factors = 500, 30
+        bound = np.sqrt(6.0 / (n_rows + n_factors))
+        table = xavier_init(n_rows, n_factors, seed=0)
+        assert table.max() > 0.9 * bound
+
+    def test_reproducible(self):
+        assert np.array_equal(xavier_init(5, 3, seed=7), xavier_init(5, 3, seed=7))

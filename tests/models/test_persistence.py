@@ -1,0 +1,79 @@
+"""Tests for model save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.models.biased_mf import BiasedMatrixFactorization
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import MatrixFactorization
+from repro.models.persistence import load_model, save_model
+
+
+class TestMFRoundTrip:
+    def test_scores_preserved(self, tmp_path):
+        model = MatrixFactorization(5, 8, n_factors=4, seed=3)
+        path = tmp_path / "mf.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, MatrixFactorization)
+        for user in range(5):
+            assert np.allclose(loaded.scores(user), model.scores(user))
+
+    def test_shapes_preserved(self, tmp_path):
+        model = MatrixFactorization(5, 8, n_factors=4, seed=3)
+        path = tmp_path / "mf.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.n_users == 5
+        assert loaded.n_items == 8
+        assert loaded.n_factors == 4
+
+
+class TestBiasedMFRoundTrip:
+    def test_bias_preserved(self, tmp_path):
+        model = BiasedMatrixFactorization(4, 6, n_factors=3, seed=1)
+        model.item_bias[:] = np.linspace(-1, 1, 6)
+        path = tmp_path / "biased.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, BiasedMatrixFactorization)
+        assert np.allclose(loaded.item_bias, model.item_bias)
+        assert np.allclose(loaded.scores(2), model.scores(2))
+
+
+class TestLightGCNRoundTrip:
+    def test_scores_preserved(self, tmp_path, micro_train):
+        model = LightGCN(micro_train, n_factors=4, n_layers=2, seed=0)
+        path = tmp_path / "lgcn.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, LightGCN)
+        assert loaded.n_layers == 2
+        for user in range(micro_train.n_users):
+            assert np.allclose(loaded.scores(user), model.scores(user))
+
+    def test_graph_rebuilt_exactly(self, tmp_path, micro_train):
+        model = LightGCN(micro_train, n_factors=4, seed=0)
+        path = tmp_path / "lgcn.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert (loaded._adjacency != model._adjacency).nnz == 0
+
+
+class TestErrors:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot persist"):
+            save_model(object(), tmp_path / "x.npz")
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(path, kind="mf", version=999,
+                 user_factors=np.zeros((2, 2)), item_factors=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_model(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.npz"
+        np.savez(path, kind="ncf", version=1)
+        with pytest.raises(ValueError, match="unknown model kind"):
+            load_model(path)

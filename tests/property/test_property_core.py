@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the core math.
+
+These verify the paper's algebraic identities on *arbitrary* inputs, not
+just hand-picked cases: Eq. 15's form and bounds, the risk rule's
+optimality, order-statistic identities, and the empirical CDF's contract.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.empirical import EmpiricalCdf
+from repro.core.risk import conditional_sampling_risk, optimal_sample_index
+from repro.core.unbiasedness import unbias
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+unit_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=30),
+    elements=probabilities,
+)
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestUnbiasProperties:
+    @given(unit_arrays.flatmap(lambda f: st.tuples(st.just(f), hnp.arrays(
+        dtype=np.float64, shape=f.shape, elements=probabilities))))
+    def test_output_in_unit_interval(self, args):
+        cdf, prior = args
+        out = unbias(cdf, prior)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    @given(probabilities, probabilities)
+    def test_matches_paper_denominator(self, F, P):
+        """Whenever the denominator is positive the two algebraic forms of
+        Eq. 15 agree."""
+        denominator = 1 - F - P + 2 * F * P
+        if denominator > 1e-12:
+            expected = (1 - F) * (1 - P) / denominator
+            assert abs(unbias(np.asarray([F]), np.asarray([P]))[0] - expected) < 1e-9
+
+    @given(probabilities, probabilities, probabilities)
+    def test_monotone_in_cdf(self, F1, F2, P):
+        lo, hi = min(F1, F2), max(F1, F2)
+        out_lo = unbias(np.asarray([lo]), np.asarray([P]))[0]
+        out_hi = unbias(np.asarray([hi]), np.asarray([P]))[0]
+        # Skip through the degenerate 0.5 corner, which breaks strict
+        # monotonicity by convention.
+        if 0.5 not in (out_lo, out_hi):
+            assert out_hi <= out_lo + 1e-12
+
+    @given(probabilities)
+    def test_symmetric_cdf_prior_swap(self, v):
+        """unbias(F, P) at F = P is exactly 1/2 only when F = P = 1/2;
+        in general unbias(F, P) + unbias(1−F, 1−P)... the clean identity:
+        unbias(F, P) = 1 − unbias(1−F, 1−P) away from corners."""
+        F, P = v, 0.7 * v + 0.1
+        a = unbias(np.asarray([F]), np.asarray([P]))[0]
+        b = unbias(np.asarray([1 - F]), np.asarray([1 - P]))[0]
+        if a != 0.5 and b != 0.5:
+            assert abs(a + b - 1.0) < 1e-9
+
+
+class TestRiskProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_argmin_dominates_all_choices(self, n, weight, seed):
+        """Theorem 0.1: no fixed choice beats the per-candidate argmin."""
+        rng = np.random.default_rng(seed)
+        info = rng.random(n)
+        posterior = rng.random(n)
+        risk = conditional_sampling_risk(info, posterior, weight)
+        best = optimal_sample_index(info, posterior, weight)
+        assert np.all(risk[best] <= risk + 1e-12)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    def test_risk_bounds(self, info, posterior, weight):
+        """R ∈ [−λ·info, info] — gain is capped by λ·info, loss by info."""
+        risk = conditional_sampling_risk(
+            np.asarray([info]), np.asarray([posterior]), weight
+        )[0]
+        assert -weight * info - 1e-12 <= risk <= info + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_risk_zero_weight_never_negative_beyond_zero(self, info, posterior):
+        """λ = 0: risk = info·(1 − posterior) ≥ 0 (no gain term)."""
+        risk = conditional_sampling_risk(
+            np.asarray([info]), np.asarray([posterior]), 0.0
+        )[0]
+        assert risk >= -1e-12
+
+
+class TestEmpiricalCdfProperties:
+    samples = hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=50),
+        elements=finite_floats,
+    )
+
+    @given(samples)
+    def test_range_and_monotonicity(self, sample):
+        cdf = EmpiricalCdf(sample)
+        grid = np.linspace(sample.min() - 1, sample.max() + 1, 40)
+        values = cdf(grid)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+        assert np.all(np.diff(values) >= 0.0)
+
+    @given(samples)
+    def test_extremes(self, sample):
+        cdf = EmpiricalCdf(sample)
+        assert cdf(np.asarray([sample.max()]))[0] == 1.0
+        assert cdf(np.asarray([sample.min() - 1e-9]))[0] == 0.0
+
+    @given(samples, finite_floats)
+    def test_matches_definition(self, sample, query):
+        """F_n(x) = #{s <= x}/n, by brute force."""
+        cdf = EmpiricalCdf(sample)
+        expected = np.sum(sample <= query) / sample.size
+        assert cdf(np.asarray([query]))[0] == expected
+
+
+class TestOrderStatisticsProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=40),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    def test_pairwise_min_max_ordering(self, values):
+        """Eq. 7: after sorting each IID pair, min <= max everywhere."""
+        pairs = values[: values.size // 2 * 2].reshape(-1, 2)
+        pairs.sort(axis=1)
+        assert np.all(pairs[:, 0] <= pairs[:, 1])

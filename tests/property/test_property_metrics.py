@@ -1,0 +1,106 @@
+"""Property-based tests for ranking metrics and loss functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.ranking import ndcg_at_k, precision_at_k, recall_at_k
+from repro.eval.topk import top_k_items
+from repro.train.loss import bpr_loss, informativeness, log_sigmoid, sigmoid
+
+scores_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=40),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+@st.composite
+def ranking_cases(draw):
+    n_items = draw(st.integers(min_value=2, max_value=40))
+    ranked = draw(st.permutations(list(range(n_items))))
+    relevant = draw(st.sets(st.integers(min_value=0, max_value=n_items - 1)))
+    k = draw(st.integers(min_value=1, max_value=n_items))
+    return np.asarray(ranked), relevant, k
+
+
+class TestMetricProperties:
+    @given(ranking_cases())
+    def test_bounds(self, case):
+        ranked, relevant, k = case
+        for metric in (precision_at_k, recall_at_k, ndcg_at_k):
+            value = metric(ranked, relevant, k)
+            assert 0.0 <= value <= 1.0
+
+    @given(ranking_cases())
+    def test_precision_recall_relationship(self, case):
+        """precision·k == recall·|relevant| (both count the same hits)."""
+        ranked, relevant, k = case
+        hits_from_precision = precision_at_k(ranked, relevant, k) * k
+        hits_from_recall = recall_at_k(ranked, relevant, k) * max(len(relevant), 1)
+        if relevant:
+            assert abs(hits_from_precision - hits_from_recall) < 1e-9
+
+    @given(ranking_cases())
+    def test_recall_monotone_in_k(self, case):
+        ranked, relevant, k = case
+        if k < len(ranked):
+            assert recall_at_k(ranked, relevant, k + 1) >= recall_at_k(
+                ranked, relevant, k
+            )
+
+    @given(ranking_cases())
+    def test_all_relevant_perfect_scores(self, case):
+        ranked, _, k = case
+        everything = set(ranked.tolist())
+        assert precision_at_k(ranked, everything, k) == 1.0
+        assert ndcg_at_k(ranked, everything, k) == 1.0
+
+
+class TestTopKProperties:
+    @given(scores_arrays, st.integers(min_value=1, max_value=10))
+    def test_topk_is_sorted_by_score(self, scores, k):
+        out = top_k_items(scores, np.asarray([], dtype=np.int64), k)
+        values = scores[out]
+        assert np.all(np.diff(values) <= 1e-12)
+
+    @given(scores_arrays, st.integers(min_value=1, max_value=10))
+    def test_topk_dominates_rest(self, scores, k):
+        out = top_k_items(scores, np.asarray([], dtype=np.int64), k)
+        rest = np.setdiff1d(np.arange(scores.size), out)
+        if rest.size and out.size:
+            assert scores[out].min() >= scores[rest].max() - 1e-12
+
+
+class TestLossProperties:
+    @given(st.floats(min_value=-500, max_value=500, allow_nan=False))
+    def test_sigmoid_bounds(self, x):
+        value = sigmoid(np.asarray([x]))[0]
+        assert 0.0 <= value <= 1.0
+
+    @given(st.floats(min_value=-500, max_value=500, allow_nan=False))
+    def test_log_sigmoid_consistent(self, x):
+        ls = log_sigmoid(np.asarray([x]))[0]
+        assert ls <= 1e-12
+        assert np.isfinite(ls)
+
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_loss_positive_and_info_bounded(self, pos, neg):
+        loss, info = bpr_loss(np.asarray([pos]), np.asarray([neg]))
+        assert loss[0] >= 0.0
+        assert 0.0 <= info[0] <= 1.0
+
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=0.01, max_value=10, allow_nan=False),
+    )
+    def test_info_monotone_in_gap(self, pos, neg, delta):
+        """Closing the score gap raises informativeness."""
+        wide = informativeness(np.asarray([pos + delta]), np.asarray([neg]))[0]
+        narrow = informativeness(np.asarray([pos]), np.asarray([neg]))[0]
+        assert narrow >= wide - 1e-12

@@ -1,0 +1,92 @@
+"""Tests for repro.samplers.base.NegativeSampler."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.samplers.rns import RandomNegativeSampler
+
+
+class TestLifecycle:
+    def test_unbound_access_raises(self):
+        sampler = RandomNegativeSampler()
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = sampler.dataset
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = sampler.rng
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = sampler.model
+
+    def test_bind_attaches(self, micro_dataset, micro_model):
+        sampler = RandomNegativeSampler()
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        assert sampler.dataset is micro_dataset
+        assert sampler.model is micro_model
+
+    def test_repr(self):
+        assert "RandomNegativeSampler" in repr(RandomNegativeSampler())
+
+
+class TestUniformNegatives:
+    @pytest.fixture
+    def bound(self, micro_dataset, micro_model):
+        sampler = RandomNegativeSampler()
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        return sampler
+
+    def test_never_returns_positives(self, bound, micro_dataset):
+        for user in range(micro_dataset.n_users):
+            draws = bound.uniform_negatives(user, 500)
+            positives = set(micro_dataset.train.items_of(user).tolist())
+            assert not positives.intersection(draws.tolist())
+
+    def test_requested_count(self, bound):
+        assert bound.uniform_negatives(0, 17).size == 17
+
+    def test_zero_count(self, bound):
+        assert bound.uniform_negatives(0, 0).size == 0
+
+    def test_covers_all_negatives(self, bound, micro_dataset):
+        """With enough draws every un-interacted item appears."""
+        draws = set(bound.uniform_negatives(0, 2000).tolist())
+        negatives = set(np.nonzero(micro_dataset.train.negative_mask(0))[0].tolist())
+        assert draws == negatives
+
+    def test_approximately_uniform(self, bound, micro_dataset):
+        draws = bound.uniform_negatives(0, 50_000)
+        counts = np.bincount(draws, minlength=micro_dataset.n_items)
+        negatives = micro_dataset.train.negative_mask(0)
+        expected = 50_000 / negatives.sum()
+        assert np.all(np.abs(counts[negatives] - expected) < 0.1 * 50_000)
+        # chi-square-ish sanity: all negative bins within 10% of uniform
+        assert np.allclose(counts[negatives], expected, rtol=0.1)
+
+    def test_saturated_user_rejected(self):
+        train = InteractionMatrix.from_pairs(
+            [(0, i) for i in range(4)] + [(1, 0)], 2, 4
+        )
+        test = InteractionMatrix.from_pairs([(1, 1)], 2, 4)
+        dataset = ImplicitDataset(train, test)
+        sampler = RandomNegativeSampler()
+
+        class Dummy:
+            pass
+
+        sampler.bind(dataset, Dummy(), seed=0)
+        with pytest.raises(ValueError, match="no un-interacted"):
+            sampler.uniform_negatives(0, 1)
+
+    def test_candidate_matrix_shape(self, bound):
+        matrix = bound.candidate_matrix(0, n_pos=3, m=5)
+        assert matrix.shape == (3, 5)
+
+    def test_candidate_matrix_invalid_m(self, bound):
+        with pytest.raises(ValueError, match="positive"):
+            bound.candidate_matrix(0, 2, 0)
+
+    def test_reproducible_given_seed(self, micro_dataset, micro_model):
+        a, b = RandomNegativeSampler(), RandomNegativeSampler()
+        a.bind(micro_dataset, micro_model, seed=9)
+        b.bind(micro_dataset, micro_model, seed=9)
+        assert np.array_equal(a.uniform_negatives(0, 20), b.uniform_negatives(0, 20))

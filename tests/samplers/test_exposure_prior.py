@@ -1,0 +1,108 @@
+"""Tests for the exposure ("viewed but non-clicked") prior."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.registry import dataset_from_log
+from repro.data.synthetic import CalibrationPreset, LatentFactorGenerator
+from repro.samplers.priors import ExposurePrior, PopularityPrior
+
+
+@pytest.fixture
+def impressions():
+    # user 0 saw items 3 and 4 without interacting; user 1 saw item 0.
+    return InteractionMatrix.from_pairs([(0, 3), (0, 4), (1, 0)], 4, 8)
+
+
+@pytest.fixture
+def bound(micro_dataset, impressions):
+    prior = ExposurePrior(impressions, damping=0.25)
+    prior.bind(micro_dataset)
+    return prior
+
+
+class TestExposurePrior:
+    def test_requires_interaction_matrix(self):
+        with pytest.raises(TypeError, match="InteractionMatrix"):
+            ExposurePrior(np.zeros((4, 8)))
+
+    def test_damping_validated(self, impressions):
+        with pytest.raises(ValueError):
+            ExposurePrior(impressions, damping=1.5)
+
+    def test_shape_mismatch_rejected(self, micro_dataset):
+        wrong = InteractionMatrix.from_pairs([(0, 0)], 4, 9)
+        prior = ExposurePrior(wrong)
+        with pytest.raises(ValueError, match="universe"):
+            prior.bind(micro_dataset)
+
+    def test_exposed_items_damped(self, bound, micro_dataset):
+        base = PopularityPrior()
+        base.bind(micro_dataset)
+        items = np.asarray([3, 4])
+        expected = base.fn_prob(0, items) * 0.25
+        assert np.allclose(bound.fn_prob(0, items), expected)
+
+    def test_unexposed_items_unchanged(self, bound, micro_dataset):
+        base = PopularityPrior()
+        base.bind(micro_dataset)
+        items = np.asarray([5, 6])
+        assert np.allclose(bound.fn_prob(0, items), base.fn_prob(0, items))
+
+    def test_exposure_is_user_specific(self, bound):
+        # Item 3 was shown to user 0 but not to user 2.
+        assert bound.fn_prob(0, np.asarray([3]))[0] < bound.fn_prob(
+            2, np.asarray([3])
+        )[0]
+
+    def test_matrix_shape_preserved(self, bound):
+        items = np.zeros((2, 3), dtype=np.int64)
+        assert bound.fn_prob(0, items).shape == (2, 3)
+
+
+class TestGeneratorImpressions:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        preset = CalibrationPreset(
+            name="unit", n_users=30, n_items=50, n_interactions=500, n_factors=4
+        )
+        return LatentFactorGenerator(preset, seed=3).generate_with_impressions()
+
+    def test_impressions_disjoint_from_clicks(self, generated):
+        log, impressions = generated
+        clicks = log.to_implicit()
+        assert not clicks.intersects(impressions)
+
+    def test_impression_counts_scale_with_degree(self, generated):
+        log, impressions = generated
+        clicks = log.to_implicit()
+        # Each user's impressions = min(2·n_u, n_items) − n_u shown-only.
+        for user in range(clicks.n_users):
+            n_u = clicks.degree_of(user)
+            expected = min(2 * n_u, clicks.n_items) - n_u
+            assert impressions.degree_of(user) == expected
+
+    def test_same_clicks_as_plain_generation(self):
+        preset = CalibrationPreset(
+            name="unit", n_users=12, n_items=30, n_interactions=120, n_factors=4
+        )
+        plain = LatentFactorGenerator(preset, seed=9).generate().to_implicit()
+        with_imps, _ = LatentFactorGenerator(preset, seed=9).generate_with_impressions()
+        assert with_imps.to_implicit() == plain
+
+    def test_exposure_prior_improves_fn_discrimination(self, generated):
+        """Impression-damped priors must assign lower FN probability to
+        true negatives the user actually skipped."""
+        log, impressions = generated
+        dataset = dataset_from_log(log, seed=0)
+        prior = ExposurePrior(impressions, damping=0.1)
+        prior.bind(dataset)
+        base = PopularityPrior()
+        base.bind(dataset)
+        users, items = impressions.pairs()
+        assert (
+            prior.fn_prob(int(users[0]), items[users == users[0]]).mean()
+            <= base.fn_prob(int(users[0]), items[users == users[0]]).mean()
+        )

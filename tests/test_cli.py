@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "tiny"
+        assert args.sampler == "bns"
+
+    def test_experiment_artifact_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ml-100k" in out
+        assert "tiny" in out
+
+    def test_train_prints_metrics(self, capsys):
+        code = main(
+            ["train", "--dataset", "tiny", "--epochs", "2", "--sampler", "rns",
+             "--factors", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ndcg@20" in out
+        assert "tiny/mf/rns" in out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "unbias" in out
+
+    def test_experiment_unit_scale(self, capsys):
+        assert main(["experiment", "table1", "--scale", "unit"]) == 0
+        assert "Table I" in capsys.readouterr().out

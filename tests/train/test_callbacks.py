@@ -1,0 +1,127 @@
+"""Tests for repro.train.callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.train.callbacks import (
+    EpochStats,
+    EvaluationCallback,
+    HistoryRecorder,
+    LambdaCallback,
+    SampledTripleRecorder,
+)
+
+
+def make_stats(epoch=0, n=4, info_value=0.5):
+    return EpochStats(
+        epoch=epoch,
+        users=np.zeros(n, dtype=np.int64),
+        pos_items=np.arange(n, dtype=np.int64),
+        neg_items=np.arange(n, dtype=np.int64),
+        info=np.full(n, info_value),
+        mean_loss=0.7,
+        lr=0.01,
+        duration_seconds=0.1,
+    )
+
+
+class TestEpochStats:
+    def test_n_triples(self):
+        assert make_stats(n=7).n_triples == 7
+
+    def test_mean_info(self):
+        assert make_stats(info_value=0.25).mean_info == 0.25
+
+    def test_mean_info_empty(self):
+        assert make_stats(n=0).mean_info == 0.0
+
+
+class TestHistoryRecorder:
+    def test_records_curves(self):
+        recorder = HistoryRecorder()
+        for epoch in range(3):
+            recorder.on_epoch_end(make_stats(epoch=epoch), model=None)
+        assert recorder.epochs == [0, 1, 2]
+        assert recorder.loss == [0.7] * 3
+
+    def test_as_dict(self):
+        recorder = HistoryRecorder()
+        recorder.on_epoch_end(make_stats(), model=None)
+        data = recorder.as_dict()
+        assert set(data) == {"epochs", "loss", "mean_info", "lr", "duration_seconds"}
+
+
+class TestSampledTripleRecorder:
+    def test_every_filter(self):
+        recorder = SampledTripleRecorder(every=2)
+        for epoch in range(5):
+            recorder.on_epoch_end(make_stats(epoch=epoch), model=None)
+        assert [r.epoch for r in recorder.records] == [0, 2, 4]
+
+    def test_epoch_set_filter(self):
+        recorder = SampledTripleRecorder(epochs={1, 3})
+        for epoch in range(5):
+            recorder.on_epoch_end(make_stats(epoch=epoch), model=None)
+        assert [r.epoch for r in recorder.records] == [1, 3]
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            SampledTripleRecorder(every=0)
+
+
+class TestEvaluationCallback:
+    class FakeTrainer:
+        def __init__(self, epochs, model="model"):
+            from repro.train.trainer import TrainingConfig
+
+            self.config = TrainingConfig(epochs=epochs, batch_size=1)
+            self.model = model
+
+    def test_snapshots_every_n(self):
+        calls = []
+
+        def evaluate(model):
+            calls.append(1)
+            return {"metric": len(calls)}
+
+        callback = EvaluationCallback(evaluate, every=2)
+        for epoch in range(4):
+            callback.on_epoch_end(make_stats(epoch=epoch), model=None)
+        # epochs 1 and 3 trigger ((epoch+1) % 2 == 0)
+        assert [epoch for epoch, _ in callback.snapshots] == [1, 3]
+
+    def test_final_evaluation_added_on_train_end(self):
+        callback = EvaluationCallback(lambda model: {"m": 1.0}, every=100)
+        callback.on_train_end(self.FakeTrainer(epochs=7))
+        assert callback.snapshots[-1][0] == 6
+
+    def test_no_duplicate_final(self):
+        callback = EvaluationCallback(lambda model: {"m": 1.0}, every=1)
+        callback.on_epoch_end(make_stats(epoch=0), model=None)
+        trainer = self.FakeTrainer(epochs=1)
+        callback.on_train_end(trainer)
+        assert len(callback.snapshots) == 1
+
+    def test_final_metrics_property(self):
+        callback = EvaluationCallback(lambda model: {"m": 2.0}, every=1)
+        with pytest.raises(RuntimeError):
+            _ = callback.final_metrics
+        callback.on_epoch_end(make_stats(epoch=0), model=None)
+        assert callback.final_metrics == {"m": 2.0}
+
+
+class TestLambdaCallback:
+    def test_hooks_invoked(self):
+        seen = []
+        callback = LambdaCallback(
+            on_epoch_end=lambda stats, model: seen.append(("epoch", stats.epoch)),
+            on_train_start=lambda trainer: seen.append(("start", None)),
+            on_train_end=lambda trainer: seen.append(("end", None)),
+        )
+        callback.on_train_start(None)
+        callback.on_epoch_end(make_stats(epoch=3), model=None)
+        callback.on_train_end(None)
+        assert seen == [("start", None), ("epoch", 3), ("end", None)]
+
+    def test_missing_hooks_noop(self):
+        LambdaCallback().on_epoch_end(make_stats(), model=None)

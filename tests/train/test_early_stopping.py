@@ -1,0 +1,112 @@
+"""Tests for repro.train.early_stopping."""
+
+import numpy as np
+import pytest
+
+from repro.models.mf import MatrixFactorization
+from repro.samplers.rns import RandomNegativeSampler
+from repro.train.callbacks import EpochStats
+from repro.train.early_stopping import EarlyStopping, StopTraining
+from repro.train.trainer import Trainer, TrainingConfig
+
+
+def stats_with_loss(epoch, loss):
+    return EpochStats(
+        epoch=epoch,
+        users=np.asarray([0]),
+        pos_items=np.asarray([0]),
+        neg_items=np.asarray([1]),
+        info=np.asarray([0.5]),
+        mean_loss=loss,
+        lr=0.01,
+        duration_seconds=0.0,
+    )
+
+
+class TestEarlyStoppingCallback:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(every=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-0.1)
+
+    def test_stops_on_stale_loss(self):
+        callback = EarlyStopping(patience=2)
+        callback.on_epoch_end(stats_with_loss(0, 1.0), model=None)
+        callback.on_epoch_end(stats_with_loss(1, 1.0), model=None)  # stale 1
+        with pytest.raises(StopTraining):
+            callback.on_epoch_end(stats_with_loss(2, 1.0), model=None)  # stale 2
+        assert callback.stopped_epoch == 2
+        assert callback.best_epoch == 0
+
+    def test_improvement_resets_patience(self):
+        callback = EarlyStopping(patience=2)
+        callback.on_epoch_end(stats_with_loss(0, 1.0), model=None)
+        callback.on_epoch_end(stats_with_loss(1, 1.0), model=None)  # stale 1
+        callback.on_epoch_end(stats_with_loss(2, 0.5), model=None)  # improves
+        callback.on_epoch_end(stats_with_loss(3, 0.5), model=None)  # stale 1
+        # still alive — no StopTraining yet
+        assert callback.stopped_epoch is None
+
+    def test_min_delta(self):
+        callback = EarlyStopping(patience=1, min_delta=0.1)
+        callback.on_epoch_end(stats_with_loss(0, 1.0), model=None)
+        with pytest.raises(StopTraining):
+            # 0.95 improves by 0.05 < min_delta → counts as stale.
+            callback.on_epoch_end(stats_with_loss(1, 0.95), model=None)
+
+    def test_metric_mode(self):
+        values = iter([0.5, 0.6, 0.6, 0.6])
+        callback = EarlyStopping(evaluate=lambda model: next(values), patience=2)
+        callback.on_epoch_end(stats_with_loss(0, 9.0), model=None)
+        callback.on_epoch_end(stats_with_loss(1, 9.0), model=None)
+        callback.on_epoch_end(stats_with_loss(2, 9.0), model=None)
+        with pytest.raises(StopTraining):
+            callback.on_epoch_end(stats_with_loss(3, 9.0), model=None)
+
+    def test_every_skips_epochs(self):
+        calls = []
+        callback = EarlyStopping(
+            evaluate=lambda model: calls.append(1) or 1.0, patience=10, every=2
+        )
+        for epoch in range(4):
+            callback.on_epoch_end(stats_with_loss(epoch, 1.0), model=None)
+        assert len(calls) == 2  # epochs 1 and 3 only
+
+
+class TestTrainerIntegration:
+    def test_trainer_stops_cleanly(self, micro_dataset):
+        model = MatrixFactorization(
+            micro_dataset.n_users, micro_dataset.n_items, n_factors=4, seed=0
+        )
+        # Constant metric → immediate staleness after the first epoch.
+        stopper = EarlyStopping(evaluate=lambda m: 0.5, patience=2)
+        trainer = Trainer(
+            model,
+            micro_dataset,
+            RandomNegativeSampler(),
+            TrainingConfig(epochs=50, batch_size=4, seed=0),
+            callbacks=[stopper],
+        )
+        history = trainer.fit()
+        assert len(history) == 3  # best at epoch 0, stale at 1 and 2
+        assert stopper.stopped_epoch == 2
+
+    def test_trainer_runs_to_completion_without_trigger(self, micro_dataset):
+        model = MatrixFactorization(
+            micro_dataset.n_users, micro_dataset.n_items, n_factors=4, seed=0
+        )
+        values = iter(range(100))  # strictly improving metric
+        stopper = EarlyStopping(evaluate=lambda m: next(values), patience=2)
+        trainer = Trainer(
+            model,
+            micro_dataset,
+            RandomNegativeSampler(),
+            TrainingConfig(epochs=5, batch_size=4, seed=0),
+            callbacks=[stopper],
+        )
+        history = trainer.fit()
+        assert len(history) == 5
+        assert stopper.stopped_epoch is None

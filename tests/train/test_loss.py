@@ -1,0 +1,98 @@
+"""Tests for repro.train.loss."""
+
+import numpy as np
+import pytest
+
+from repro.train.loss import bpr_loss, informativeness, log_sigmoid, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.asarray([0.0]))[0] == 0.5
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 21)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-20, 20, 101)
+        naive = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(sigmoid(x), naive)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.asarray([-1000.0, 1000.0]))
+        assert out[0] == 0.0
+        assert out[1] == 1.0
+        assert np.all(np.isfinite(out))
+
+    def test_preserves_shape(self):
+        assert sigmoid(np.zeros((3, 4))).shape == (3, 4)
+
+
+class TestLogSigmoid:
+    def test_matches_log_of_sigmoid(self):
+        x = np.linspace(-20, 20, 101)
+        assert np.allclose(log_sigmoid(x), np.log(sigmoid(x)))
+
+    def test_no_overflow_at_extremes(self):
+        out = log_sigmoid(np.asarray([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(-1000.0)
+        assert out[1] == pytest.approx(0.0)
+        assert np.all(np.isfinite(out))
+
+    def test_always_negative(self):
+        x = np.linspace(-10, 10, 50)
+        assert np.all(log_sigmoid(x) <= 0)
+
+
+class TestBprLoss:
+    def test_loss_and_info(self):
+        loss, info = bpr_loss(np.asarray([2.0]), np.asarray([1.0]))
+        assert loss[0] == pytest.approx(-log_sigmoid(np.asarray([1.0]))[0])
+        assert info[0] == pytest.approx(1 - sigmoid(np.asarray([1.0]))[0])
+
+    def test_perfect_ranking_vanishes(self):
+        loss, info = bpr_loss(np.asarray([100.0]), np.asarray([-100.0]))
+        assert loss[0] == pytest.approx(0.0, abs=1e-9)
+        assert info[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_inverted_ranking_large(self):
+        loss, info = bpr_loss(np.asarray([-10.0]), np.asarray([10.0]))
+        assert loss[0] > 19
+        assert info[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            bpr_loss(np.ones(2), np.ones(3))
+
+    def test_info_is_loss_gradient(self):
+        """info = ∂loss/∂x̂_uj, checked by finite differences."""
+        pos, neg, eps = 1.3, 0.4, 1e-7
+        _, info = bpr_loss(np.asarray([pos]), np.asarray([neg]))
+        up, _ = bpr_loss(np.asarray([pos]), np.asarray([neg + eps]))
+        down, _ = bpr_loss(np.asarray([pos]), np.asarray([neg - eps]))
+        assert (up[0] - down[0]) / (2 * eps) == pytest.approx(info[0], abs=1e-6)
+
+
+class TestInformativeness:
+    def test_eq4(self):
+        out = informativeness(np.asarray([0.7]), np.asarray([0.2]))
+        assert out[0] == pytest.approx(1 - sigmoid(np.asarray([0.5]))[0])
+
+    def test_monotone_in_negative_score(self):
+        """Higher-scored negatives are more informative (harder)."""
+        pos = np.zeros(50)
+        neg = np.linspace(-5, 5, 50)
+        info = informativeness(pos, neg)
+        assert np.all(np.diff(info) > 0)
+
+    def test_range(self):
+        info = informativeness(np.asarray([-100.0, 0.0, 100.0]), np.zeros(3))
+        assert np.all(info >= 0) and np.all(info <= 1)
+
+    def test_half_at_equal_scores(self):
+        assert informativeness(np.asarray([1.0]), np.asarray([1.0]))[0] == 0.5
+
+    def test_broadcasting(self):
+        out = informativeness(np.ones((3, 1)), np.zeros((3, 5)))
+        assert out.shape == (3, 5)

@@ -1,0 +1,121 @@
+"""Tests for repro.train.optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.train.optimizer import SGD, Adam, aggregate_rows
+
+
+class TestAggregateRows:
+    def test_unique_rows_pass_through(self):
+        rows, grads = aggregate_rows(np.asarray([2, 0]), np.ones((2, 3)))
+        assert np.array_equal(rows, [0, 2])
+        assert grads.shape == (2, 3)
+
+    def test_duplicates_summed(self):
+        rows, grads = aggregate_rows(
+            np.asarray([1, 1, 0]), np.asarray([[1.0], [2.0], [5.0]])
+        )
+        assert np.array_equal(rows, [0, 1])
+        assert np.array_equal(grads, [[5.0], [3.0]])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            aggregate_rows(np.asarray([0, 1]), np.ones((3, 2)))
+
+
+class TestSGD:
+    def test_row_update(self):
+        param = np.ones((4, 2))
+        SGD(0.5).update_rows("p", param, np.asarray([1, 3]), np.ones((2, 2)))
+        assert np.array_equal(param[1], [0.5, 0.5])
+        assert np.array_equal(param[0], [1.0, 1.0])
+
+    def test_dense_update(self):
+        param = np.ones((2, 2))
+        SGD(0.25).update_dense("p", param, np.full((2, 2), 2.0))
+        assert np.allclose(param, 0.5)
+
+    def test_lr_mutable(self):
+        opt = SGD(0.1)
+        opt.lr = 0.01
+        assert opt.lr == 0.01
+
+    def test_lr_validated(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+        opt = SGD(0.1)
+        with pytest.raises(ValueError):
+            opt.lr = -1.0
+
+
+class TestAdam:
+    def test_first_step_is_signed_lr(self):
+        """Bias correction makes the first Adam step ≈ lr · sign(grad)."""
+        param = np.zeros((1, 3))
+        Adam(lr=0.1).update_rows(
+            "p", param, np.asarray([0]), np.asarray([[1.0, -2.0, 0.5]])
+        )
+        assert np.allclose(param, [[-0.1, 0.1, -0.1]], atol=1e-6)
+
+    def test_dense_first_step(self):
+        param = np.zeros((2, 2))
+        Adam(lr=0.05).update_dense("p", param, np.ones((2, 2)))
+        assert np.allclose(param, -0.05, atol=1e-6)
+
+    def test_sparse_rows_keep_independent_state(self):
+        """Row 0 stepped twice, row 1 once: bias correction must differ."""
+        param = np.zeros((2, 1))
+        opt = Adam(lr=0.1)
+        opt.update_rows("p", param, np.asarray([0]), np.asarray([[1.0]]))
+        opt.update_rows("p", param, np.asarray([0, 1]), np.asarray([[1.0], [1.0]]))
+        assert opt._steps["p"][0] == 2
+        assert opt._steps["p"][1] == 1
+
+    def test_converges_on_quadratic(self):
+        """Adam must drive a quadratic bowl to its minimum."""
+        param = np.asarray([[5.0, -3.0]])
+        target = np.asarray([[1.0, 2.0]])
+        opt = Adam(lr=0.1)
+        for _ in range(500):
+            grad = param - target
+            opt.update_dense("p", param, grad)
+        assert np.allclose(param, target, atol=0.01)
+
+    def test_adapts_to_gradient_scale(self):
+        """Directions with tiny gradients still make progress (vs SGD)."""
+        param = np.asarray([[0.0, 0.0]])
+        opt = Adam(lr=0.1)
+        for _ in range(50):
+            grad = np.asarray([[1.0, 1e-4]])
+            opt.update_rows("p", param, np.asarray([0]), grad)
+        # Both coordinates moved by a comparable amount despite the 1e4
+        # gradient-scale gap.
+        assert abs(param[0, 1]) > 0.5 * abs(param[0, 0])
+
+    def test_shape_change_rejected(self):
+        opt = Adam()
+        opt.update_dense("p", np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError, match="changed shape"):
+            opt.update_dense("p", np.zeros((3, 2)), np.ones((3, 2)))
+
+    def test_reset_clears_state(self):
+        opt = Adam()
+        opt.update_dense("p", np.zeros((2, 2)), np.ones((2, 2)))
+        opt.reset()
+        assert not opt._m
+
+    def test_hyperparameters_validated(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=0.0)
+        with pytest.raises(ValueError):
+            Adam(eps=0.0)
+
+    def test_separate_parameters_separate_state(self):
+        opt = Adam()
+        a, b = np.zeros((1, 1)), np.zeros((1, 1))
+        opt.update_dense("a", a, np.ones((1, 1)))
+        opt.update_dense("b", b, np.ones((1, 1)))
+        assert set(opt._m) == {"a", "b"}

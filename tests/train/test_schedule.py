@@ -1,0 +1,59 @@
+"""Tests for repro.train.schedule."""
+
+import pytest
+
+from repro.train.schedule import ConstantSchedule, StepDecay, WarmStartLambda
+
+
+class TestConstantSchedule:
+    def test_constant(self):
+        schedule = ConstantSchedule(5.0)
+        assert schedule.value(0) == 5.0
+        assert schedule.value(1000) == 5.0
+
+    def test_callable(self):
+        assert ConstantSchedule(2.0)(3) == 2.0
+
+
+class TestStepDecay:
+    def test_paper_lightgcn_schedule(self):
+        """Initial 0.01 decaying by 0.1 every 20 epochs."""
+        schedule = StepDecay(0.01, rate=0.1, every=20)
+        assert schedule.value(0) == pytest.approx(0.01)
+        assert schedule.value(19) == pytest.approx(0.01)
+        assert schedule.value(20) == pytest.approx(0.001)
+        assert schedule.value(40) == pytest.approx(0.0001)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecay(0.01).value(-1)
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            StepDecay(0.01, every=0)
+
+    def test_repr(self):
+        assert "StepDecay" in repr(StepDecay(0.1))
+
+
+class TestWarmStartLambda:
+    def test_paper_values(self):
+        """λ = max(10 − 0.1·epoch, 2) — the BNS-1 schedule."""
+        schedule = WarmStartLambda(start=10.0, alpha=0.1, floor=2.0)
+        assert schedule.value(0) == 10.0
+        assert schedule.value(10) == 9.0
+        assert schedule.value(80) == 2.0
+        assert schedule.value(200) == 2.0
+
+    def test_monotone_decreasing(self):
+        schedule = WarmStartLambda()
+        values = [schedule.value(epoch) for epoch in range(120)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_floor_above_start_rejected(self):
+        with pytest.raises(ValueError, match="floor"):
+            WarmStartLambda(start=1.0, floor=2.0)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            WarmStartLambda().value(-1)

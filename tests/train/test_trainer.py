@@ -1,0 +1,176 @@
+"""Tests for repro.train.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.models.mf import MatrixFactorization
+from repro.samplers.rns import RandomNegativeSampler
+from repro.samplers.dns import DynamicNegativeSampler
+from repro.train.callbacks import Callback, HistoryRecorder
+from repro.train.schedule import StepDecay
+from repro.train.trainer import Trainer, TrainingConfig
+
+
+class TestTrainingConfig:
+    def test_defaults_match_paper_mf(self):
+        config = TrainingConfig()
+        assert config.epochs == 100
+        assert config.batch_size == 1
+        assert config.lr == 0.01
+        assert config.reg == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(reg=-0.1)
+
+    def test_lr_schedule_resolution(self):
+        config = TrainingConfig(lr=0.5)
+        assert config.resolve_lr_schedule().value(99) == 0.5
+        schedule = StepDecay(0.5, rate=0.1, every=10)
+        config = TrainingConfig(lr=0.5, lr_schedule=schedule)
+        assert config.resolve_lr_schedule() is schedule
+
+
+def make_trainer(dataset, epochs=3, batch_size=4, sampler=None, **kwargs):
+    model = MatrixFactorization(dataset.n_users, dataset.n_items, n_factors=6, seed=0)
+    sampler = sampler if sampler is not None else RandomNegativeSampler()
+    config = TrainingConfig(
+        epochs=epochs, batch_size=batch_size, lr=0.05, reg=0.01, seed=1, **kwargs
+    )
+    return Trainer(model, dataset, sampler, config)
+
+
+class TestTrainerLoop:
+    def test_history_length(self, micro_dataset):
+        trainer = make_trainer(micro_dataset, epochs=4)
+        history = trainer.fit()
+        assert len(history) == 4
+
+    def test_every_triple_trained_each_epoch(self, micro_dataset):
+        trainer = make_trainer(micro_dataset, epochs=1)
+        stats = trainer.fit()[0]
+        assert stats.n_triples == micro_dataset.train.n_interactions
+
+    def test_negatives_never_train_positives(self, micro_dataset):
+        trainer = make_trainer(micro_dataset, epochs=2)
+        for stats in trainer.fit():
+            for user, item in zip(stats.users, stats.neg_items):
+                assert not micro_dataset.train.contains(int(user), int(item))
+
+    def test_loss_decreases(self, tiny_dataset):
+        trainer = make_trainer(tiny_dataset, epochs=10, batch_size=8)
+        history = trainer.fit()
+        assert history[-1].mean_loss < history[0].mean_loss
+
+    def test_reproducible_with_seed(self, micro_dataset):
+        a = make_trainer(micro_dataset, epochs=3)
+        b = make_trainer(micro_dataset, epochs=3)
+        history_a, history_b = a.fit(), b.fit()
+        assert np.array_equal(history_a[-1].neg_items, history_b[-1].neg_items)
+        assert np.allclose(a.model.user_factors, b.model.user_factors)
+
+    def test_batch_size_one_matches_paper_sgd(self, micro_dataset):
+        """batch_size=1 runs one update per triple (pure SGD)."""
+        trainer = make_trainer(micro_dataset, epochs=1, batch_size=1)
+        stats = trainer.fit()[0]
+        assert stats.n_triples == micro_dataset.train.n_interactions
+
+    def test_lr_schedule_applied(self, micro_dataset):
+        model = MatrixFactorization(
+            micro_dataset.n_users, micro_dataset.n_items, n_factors=4, seed=0
+        )
+        config = TrainingConfig(
+            epochs=3,
+            batch_size=2,
+            lr=0.1,
+            seed=0,
+            lr_schedule=StepDecay(0.1, rate=0.1, every=2),
+        )
+        trainer = Trainer(model, micro_dataset, RandomNegativeSampler(), config)
+        history = trainer.fit()
+        assert history[0].lr == pytest.approx(0.1)
+        assert history[2].lr == pytest.approx(0.01)
+
+    def test_score_dependent_sampler_receives_scores(self, micro_dataset):
+        trainer = make_trainer(
+            micro_dataset, epochs=1, sampler=DynamicNegativeSampler(n_candidates=3)
+        )
+        trainer.fit()  # DNS raises internally if scores are missing
+
+    def test_empty_training_set_rejected(self, micro_test):
+        from repro.data.dataset import ImplicitDataset
+        from repro.data.interactions import InteractionMatrix
+
+        empty_train = InteractionMatrix(4, 8, [], [])
+        dataset = ImplicitDataset(empty_train, micro_test)
+        trainer = make_trainer(dataset, epochs=1)
+        with pytest.raises(ValueError, match="empty"):
+            trainer.fit()
+
+    def test_no_shuffle_keeps_order(self, micro_dataset):
+        trainer = make_trainer(micro_dataset, epochs=1, shuffle=False)
+        stats = trainer.fit()[0]
+        users, pos = micro_dataset.train.pairs()
+        assert np.array_equal(stats.users, users)
+        assert np.array_equal(stats.pos_items, pos)
+
+
+class TestTrainerCallbacks:
+    def test_callbacks_invoked_in_order(self, micro_dataset):
+        events = []
+
+        class Probe(Callback):
+            def on_train_start(self, trainer):
+                events.append("start")
+
+            def on_epoch_end(self, stats, model):
+                events.append(f"epoch{stats.epoch}")
+
+            def on_train_end(self, trainer):
+                events.append("end")
+
+        model = MatrixFactorization(
+            micro_dataset.n_users, micro_dataset.n_items, n_factors=4, seed=0
+        )
+        trainer = Trainer(
+            model,
+            micro_dataset,
+            RandomNegativeSampler(),
+            TrainingConfig(epochs=2, batch_size=4, seed=0),
+            callbacks=[Probe()],
+        )
+        trainer.fit()
+        assert events == ["start", "epoch0", "epoch1", "end"]
+
+    def test_history_recorder_integration(self, micro_dataset):
+        recorder = HistoryRecorder()
+        model = MatrixFactorization(
+            micro_dataset.n_users, micro_dataset.n_items, n_factors=4, seed=0
+        )
+        trainer = Trainer(
+            model,
+            micro_dataset,
+            RandomNegativeSampler(),
+            TrainingConfig(epochs=3, batch_size=4, seed=0),
+            callbacks=[recorder],
+        )
+        trainer.fit()
+        assert recorder.epochs == [0, 1, 2]
+        assert all(loss > 0 for loss in recorder.loss)
+
+    def test_sampler_epoch_hook_called(self, micro_dataset):
+        epochs_seen = []
+
+        class ProbeSampler(RandomNegativeSampler):
+            def on_epoch_start(self, epoch):
+                epochs_seen.append(epoch)
+
+        trainer = make_trainer(micro_dataset, epochs=3, sampler=ProbeSampler())
+        trainer.fit()
+        assert epochs_seen == [0, 1, 2]

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.logging and repro.utils.timer."""
+
+import logging
+import time
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.timer import Timer
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        logger = get_logger("data.registry")
+        assert logger.name == "repro.data.registry"
+
+    def test_already_namespaced_kept(self):
+        logger = get_logger("repro.train")
+        assert logger.name == "repro.train"
+
+    def test_root_has_null_handler(self):
+        get_logger("anything")
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestEnableConsoleLogging:
+    def test_attaches_and_replaces(self):
+        first = enable_console_logging()
+        second = enable_console_logging()
+        root = logging.getLogger("repro")
+        console = [h for h in root.handlers if getattr(h, "_repro_console", False)]
+        assert console == [second]
+        assert first not in root.handlers
+        root.removeHandler(second)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_elapsed_readable_while_running(self):
+        with Timer() as t:
+            assert t.elapsed >= 0.0
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        frozen = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == frozen

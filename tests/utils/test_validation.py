@@ -1,0 +1,97 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+    def test_error_lists_tuple_types(self):
+        with pytest.raises(TypeError, match="int, float"):
+            check_type("3", (int, float), "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2, "x") == 2.0
+
+    def test_returns_float(self):
+        assert isinstance(check_positive(np.int32(2), "x"), float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError, match="real number"):
+            check_positive("2", "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, 1.0, 2.0, "x") == 1.0
+        assert check_in_range(2.0, 1.0, 2.0, "x") == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError, match=r"\(1.0, 2.0\)"):
+            check_in_range(1.0, 1.0, 2.0, "x", inclusive=False)
+
+    def test_inside_exclusive(self):
+        assert check_in_range(1.5, 1.0, 2.0, "x", inclusive=False) == 1.5
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.0, 1.0, 2.0, "x")
