@@ -9,11 +9,22 @@ It is deliberately immutable after construction — training never mutates the
 data — and is backed by a deduplicated, canonically sorted CSR matrix so
 per-user lookups (`items_of`) are O(degree) slices and membership checks are
 O(log degree) binary searches.
+
+Batched access is first class: the CSR index is exposed directly
+(:attr:`indptr` / :attr:`indices`), pair membership is vectorized over whole
+``(user, item)`` arrays via a lazily cached flat-key index
+(:meth:`contains_pairs`), per-user positive sets can be scattered into a
+dense ``(batch, n_items)`` block in one shot (:meth:`positives_in_rows`),
+and negative sampling comes in two flavours: the per-user draw core
+:meth:`uniform_negatives` (the draw sequence every sampler's scalar and
+batched paths share) and the fully vectorized multi-user rejection
+:meth:`sample_negatives_rows` (one draw matrix for the whole batch; a
+*different* draw order, for callers that do not need per-user RNG parity).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -77,6 +88,11 @@ class InteractionMatrix:
             matrix.sum(axis=0), dtype=np.int64
         ).ravel()
         self._user_activity = np.asarray(matrix.sum(axis=1), dtype=np.int64).ravel()
+        # Lazy caches (the matrix is immutable, so these never go stale).
+        self._pair_keys: Optional[np.ndarray] = None
+        self._negatives_cache: Dict[int, np.ndarray] = {}
+        self._negatives_cache_cells = 0
+        self._negative_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -183,6 +199,246 @@ class InteractionMatrix:
         self._check_user(user)
         return int(self._user_activity[user])
 
+    def negative_items(self, user: int) -> np.ndarray:
+        """Sorted array of item ids the user has NOT interacted with.
+
+        The complement of :meth:`items_of` — the unlabeled set
+        :math:`I^-_u`.  Cached per user (the matrix is immutable), so
+        repeated queries — every :meth:`uniform_negatives` call, BNS with
+        ``n_candidates=None``, AOBPR's global ranking — pay the O(n_items)
+        materialization once instead of once per call.  Memoization stops
+        once the cache would exceed :attr:`max_cache_cells` (further
+        queries are computed per call), so huge universes degrade to
+        O(n_items) per query instead of OOMing.  The returned array is
+        marked read-only — it aliases shared cache storage.
+        """
+        self._check_user(user)
+        if self._negative_table is not None:
+            # Serve views of the padded table instead of growing a second
+            # near n_users × n_items structure alongside it.
+            table, counts = self._negative_table
+            view = table[user, : counts[user]]
+            view.flags.writeable = False
+            return view
+        cached = self._negatives_cache.get(user)
+        if cached is None:
+            mask = np.ones(self._n_items, dtype=bool)
+            mask[self.items_of(user)] = False
+            cached = np.nonzero(mask)[0]
+            cached.flags.writeable = False
+            if self._negatives_cache_cells + cached.size <= self.max_cache_cells:
+                self._negatives_cache[user] = cached
+                self._negatives_cache_cells += cached.size
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Batched lookups and sampling
+    # ------------------------------------------------------------------ #
+
+    #: Cells (int64 entries) above which the dense negatives caches are
+    #: considered unaffordable: :meth:`negative_table` refuses to build and
+    #: :meth:`negative_items` stops memoizing, keeping the batched pipeline
+    #: O(1) extra memory on huge universes instead of hitting an OOM cliff.
+    #: 64M cells = 512 MB int64.  Class attribute — override per instance
+    #: for experiments that want a different trade-off.
+    max_cache_cells: int = 64_000_000
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array, shape ``(n_users + 1,)`` (read-only view)."""
+        view = self._csr.indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array, shape ``(n_interactions,)`` (read-only view)."""
+        view = self._csr.indices.view()
+        view.flags.writeable = False
+        return view
+
+    def degrees_of(self, users: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`degree_of` for an array of user ids."""
+        users = np.asarray(users, dtype=np.int64)
+        if users.size and (users.min() < 0 or users.max() >= self._n_users):
+            raise IndexError(f"user ids out of range [0, {self._n_users})")
+        return self._user_activity[users]
+
+    def contains_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for parallel ``(user, item)`` arrays.
+
+        One binary search over a lazily built flat-key index (``user *
+        n_items + item`` for every stored interaction, globally sorted by
+        CSR construction), so a whole batch costs O(B log nnz) instead of
+        B per-user lookups.  ``users`` and ``items`` broadcast against each
+        other; the result has the broadcast shape.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        # Validate both id ranges: out-of-range ids would alias into other
+        # users' flat keys and silently return wrong membership answers.
+        if users.size and (users.min() < 0 or users.max() >= self._n_users):
+            raise IndexError(f"user ids out of range [0, {self._n_users})")
+        if items.size and (items.min() < 0 or items.max() >= self._n_items):
+            raise IndexError(f"item ids out of range [0, {self._n_items})")
+        keys = users * self._n_items + items
+        pair_keys = self._pair_key_index()
+        if pair_keys.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        pos = np.searchsorted(pair_keys, keys)
+        pos_clipped = np.minimum(pos, pair_keys.size - 1)
+        return (pos < pair_keys.size) & (pair_keys[pos_clipped] == keys)
+
+    def positives_in_rows(self, users: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter coordinates of the users' positive sets in a dense block.
+
+        For ``users`` of length ``U``, returns parallel ``(rows, cols)``
+        arrays such that ``block[rows, cols]`` addresses every training
+        positive of ``users[r]`` in row ``r`` of a ``(U, n_items)`` block —
+        the vectorized replacement for building one ``negative_mask`` per
+        user when masking positives out of a batched score matrix.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self._n_users):
+            raise IndexError(f"user ids out of range [0, {self._n_users})")
+        indptr, indices = self._csr.indptr, self._csr.indices
+        counts = self._user_activity[users]
+        total = int(counts.sum())
+        rows = np.repeat(np.arange(users.size), counts)
+        if total == 0:
+            return rows, np.empty(0, dtype=indices.dtype)
+        boundaries = np.concatenate([[0], np.cumsum(counts)])
+        within = np.arange(total) - np.repeat(boundaries[:-1], counts)
+        cols = indices[np.repeat(indptr[users], counts) + within]
+        return rows, cols
+
+    def uniform_negatives(
+        self, user: int, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``n`` uniform draws from the user's un-interacted items I⁻_u.
+
+        Inverse-CDF over the cached :meth:`negative_items` array: one
+        ``rng.random`` call, a floor-scale to indices, one gather — no
+        rejection loop.  (``floor(u · k)`` is the classic trick; its bias
+        versus ``Generator.integers`` is below ``k · 2⁻⁵³``, immaterial
+        next to sampling noise, and ``rng.random`` is several times
+        cheaper per call — this sits on the per-user hot path.)  Draws are
+        independent (*with* replacement across the ``n`` results), matching
+        how candidate sets M_u are formed in the paper's Algorithm 1.
+
+        This is the canonical per-user draw sequence: every sampler's
+        scalar *and* batched path routes its uniform candidate generation
+        through this method (one ``rng.random(n)`` call per user), which is
+        what keeps the two paths bit-for-bit identical for a bound seed
+        (see ``repro.samplers.base``).
+        """
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        negatives = self.negative_items(user)
+        k = negatives.size
+        if k == 0:
+            raise ValueError(f"user {user} has no un-interacted items to sample")
+        # minimum guards the measure-zero round-up of u·k to exactly k.
+        indices = np.minimum((rng.random(n) * k).astype(np.int64), k - 1)
+        return negatives[indices]
+
+    def negative_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded per-user negatives: ``(table, counts)``.
+
+        ``table[u, :counts[u]]`` equals :meth:`negative_items`\\ ``(u)``
+        (padding is zeros and must never be indexed — valid draws are
+        always ``< counts[u]``).  This is the epoch-scoped structure behind
+        fully vectorized candidate generation: one fancy gather
+        ``table[users, indices]`` replaces a per-user loop.  Built lazily
+        once (the matrix is immutable) at ``n_users × max_negatives`` int64
+        — near ``n_users × n_items`` for sparse data, a few MB at this
+        reproduction's scales.  Raises ``ValueError`` when the table would
+        exceed :attr:`max_cache_cells`; check :meth:`supports_negative_table`
+        first and fall back to per-user draws (``candidate_matrix_batch``
+        does exactly that).
+        """
+        if not self.supports_negative_table():
+            cells = self._n_users * max(
+                int(self._negative_table_width()), 1
+            )
+            raise ValueError(
+                f"negative table would need {cells} cells, above the "
+                f"max_cache_cells limit ({self.max_cache_cells}); use "
+                "per-user sampling instead"
+            )
+        if self._negative_table is None:
+            counts = self._n_items - self._user_activity
+            width = int(counts.max()) if counts.size else 0
+            table = np.zeros((self._n_users, width), dtype=np.int64)
+            mask = np.empty(self._n_items, dtype=bool)
+            for user in range(self._n_users):
+                cached = self._negatives_cache.get(user)
+                if cached is None:
+                    mask[:] = True
+                    mask[self.items_of(user)] = False
+                    cached = np.nonzero(mask)[0]
+                table[user, : counts[user]] = cached
+            self._negative_table = (table, counts)
+            # The table supersedes the per-user cache; free the duplicates
+            # (negative_items serves table views from here on).
+            self._negatives_cache.clear()
+            self._negatives_cache_cells = 0
+        return self._negative_table
+
+    def supports_negative_table(self) -> bool:
+        """Whether the padded negative table fits :attr:`max_cache_cells`.
+
+        Called once per mini-batch on the sampling hot path, so the answer
+        short-circuits on an already-built table and the width scan runs
+        once (the matrix is immutable).
+        """
+        if self._negative_table is not None:
+            return True
+        return self._n_users * self._negative_table_width() <= self.max_cache_cells
+
+    def _negative_table_width(self) -> int:
+        cached = getattr(self, "_negative_width_cache", None)
+        if cached is None:
+            counts = self._n_items - self._user_activity
+            cached = int(counts.max()) if counts.size else 0
+            self._negative_width_cache = cached
+        return cached
+
+    def sample_negatives_rows(
+        self, users: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One uniform negative per row of a multi-user batch, vectorized.
+
+        ``users[b]`` is the user of row ``b``; the result's row ``b`` is a
+        uniform draw from that user's un-interacted items.  The whole batch
+        shares one rejection loop: a single draw vector per round and one
+        :meth:`contains_pairs` membership check, so the cost is
+        O(rounds · B log nnz) regardless of how many distinct users appear.
+
+        Note: this consumes the generator in *batch-row* order, not the
+        sorted-per-user order of :meth:`uniform_negatives` — use it where
+        throughput matters and per-user RNG parity with the scalar sampler
+        path does not.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if users.min() < 0 or users.max() >= self._n_users:
+            raise IndexError(f"user ids out of range [0, {self._n_users})")
+        saturated = self._user_activity[users] >= self._n_items
+        if np.any(saturated):
+            bad = int(users[saturated][0])
+            raise ValueError(f"user {bad} has no un-interacted items to sample")
+        out = np.empty(users.size, dtype=np.int64)
+        unfilled = np.arange(users.size)
+        while unfilled.size:
+            draws = rng.integers(self._n_items, size=unfilled.size)
+            rejected = self.contains_pairs(users[unfilled], draws)
+            accepted = ~rejected
+            out[unfilled[accepted]] = draws[accepted]
+            unfilled = unfilled[rejected]
+        return out
+
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #
@@ -260,6 +516,20 @@ class InteractionMatrix:
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
+
+    def _pair_key_index(self) -> np.ndarray:
+        """Sorted ``user * n_items + item`` keys of all stored interactions.
+
+        Sortedness is free: CSR stores rows in order with sorted indices,
+        so the flat keys are already ascending.
+        """
+        if self._pair_keys is None:
+            indptr = self._csr.indptr
+            row_of_nnz = np.repeat(
+                np.arange(self._n_users, dtype=np.int64), np.diff(indptr)
+            )
+            self._pair_keys = row_of_nnz * self._n_items + self._csr.indices
+        return self._pair_keys
 
     def _csc(self) -> sp.csc_matrix:
         cached = getattr(self, "_csc_cache", None)

@@ -58,8 +58,11 @@ def ndcg_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
     hits = _hits(ranked, relevant, k)
     if not relevant:
         return 0.0
-    ranks = np.arange(hits.size)
-    dcg = float((hits / np.log2(ranks + 2.0)).sum())
+    # Sum only the hit terms: when every hit sits at the top, this makes the
+    # DCG sum bitwise identical to the ideal sum (same addends, same order),
+    # so the ratio is exactly 1.0 instead of drifting an ulp above it.
+    hit_ranks = np.flatnonzero(hits)
+    dcg = float((1.0 / np.log2(hit_ranks + 2.0)).sum())
     n_ideal = min(len(relevant), k)
     ideal = float((1.0 / np.log2(np.arange(n_ideal) + 2.0)).sum())
     return dcg / ideal if ideal > 0 else 0.0

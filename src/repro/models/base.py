@@ -18,6 +18,13 @@ from repro.train.optimizer import Optimizer
 
 __all__ = ["ScoreModel"]
 
+#: Default number of users per ``scores_batch`` call inside
+#: :meth:`ScoreModel.score_matrix`: large enough that a full matrix costs a
+#: handful of matmuls, small enough that one float64 chunk stays modest at
+#: this reproduction's universe sizes (1024 users × 20k items ≈ 160 MB).
+#: Callers with bigger item universes should pass a smaller ``chunk_size``.
+DEFAULT_SCORE_CHUNK = 1024
+
 
 class ScoreModel(ABC):
     """Abstract pairwise-trainable scoring model."""
@@ -44,15 +51,52 @@ class ScoreModel(ABC):
     def score_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Scores of parallel ``(user, item)`` id arrays, shape ``(B,)``."""
 
-    def score_matrix(self, users: Optional[np.ndarray] = None) -> np.ndarray:
+    def scores_batch(self, users: np.ndarray) -> np.ndarray:
+        """Score block for an array of users, shape ``(B, n_items)``.
+
+        Row ``b`` is ``scores(users[b])``.  Concrete models override this
+        with one embedding matmul; this fallback stacks per-user calls so
+        any third-party :class:`ScoreModel` keeps working unchanged.
+
+        Note on determinism: matmul-based overrides may differ from
+        per-user :meth:`scores` in the last ulp (BLAS gemm vs gemv
+        accumulate in different orders) — callers that need bitwise
+        reproducibility must stay on one path, as the trainer does.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size == 0:
+            return np.empty((0, self.n_items), dtype=np.float64)
+        return np.stack([self.scores(int(u)) for u in users])
+
+    def score_matrix(
+        self,
+        users: Optional[np.ndarray] = None,
+        *,
+        chunk_size: int = DEFAULT_SCORE_CHUNK,
+    ) -> np.ndarray:
         """Dense score block for the given users (default: all users).
 
-        Convenience for evaluation; may be memory-heavy on large universes,
-        so the evaluator chunks its calls.
+        Chunks through :meth:`scores_batch` — ``chunk_size`` users per call
+        (default :data:`DEFAULT_SCORE_CHUNK`) — so large universes cost a
+        handful of matmuls instead of one Python-level ``scores`` call per
+        user.  Still materializes the full ``(U, n_items)`` result; callers
+        that only stream over it (the evaluator) should chunk their own
+        calls instead.
         """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if users is None:
             users = np.arange(self.n_users)
-        return np.stack([self.scores(int(u)) for u in np.asarray(users).ravel()])
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size <= chunk_size:
+            return self.scores_batch(users)
+        return np.concatenate(
+            [
+                self.scores_batch(users[start : start + chunk_size])
+                for start in range(0, users.size, chunk_size)
+            ],
+            axis=0,
+        )
 
     # ------------------------------------------------------------------ #
     # Training

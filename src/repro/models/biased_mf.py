@@ -65,6 +65,13 @@ class BiasedMatrixFactorization(ScoreModel):
         )
         return dots + self._item_bias[items]
 
+    def scores_batch(self, users: np.ndarray) -> np.ndarray:
+        """Score block via one embedding matmul plus the bias row."""
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise IndexError(f"user ids out of range [0, {self.n_users})")
+        return self._user_factors[users] @ self._item_factors.T + self._item_bias
+
     # ------------------------------------------------------------------ #
 
     def train_step(

@@ -110,6 +110,14 @@ class LightGCN(ScoreModel):
             "bf,bf->b", propagated[users], propagated[self.n_users + items]
         )
 
+    def scores_batch(self, users: np.ndarray) -> np.ndarray:
+        """Score block via one matmul over the propagated embeddings."""
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise IndexError(f"user ids out of range [0, {self.n_users})")
+        propagated = self.propagate()
+        return propagated[users] @ propagated[self.n_users :].T
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #

@@ -73,6 +73,13 @@ class MatrixFactorization(ScoreModel):
             "bf,bf->b", self._user_factors[users], self._item_factors[items]
         )
 
+    def scores_batch(self, users: np.ndarray) -> np.ndarray:
+        """Score block via one embedding matmul, shape ``(B, n_items)``."""
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise IndexError(f"user ids out of range [0, {self.n_users})")
+        return self._user_factors[users] @ self._item_factors.T
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #

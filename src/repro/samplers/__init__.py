@@ -1,9 +1,14 @@
 """Negative samplers: the paper's BNS and every baseline it compares with.
 
-All samplers implement :class:`repro.samplers.base.NegativeSampler`:
-per user, given the positions of the user's positive instances in the
-current batch (and, when ``needs_scores`` is set, the model's full score
-vector for that user), return one negative instance per positive.
+All samplers implement :class:`repro.samplers.base.NegativeSampler`.  The
+hot path is batch-first: :meth:`~repro.samplers.base.NegativeSampler.
+sample_batch` takes a whole mini-batch of ``(user, positive)`` rows plus
+one score block for the batch's sorted unique users (when
+``needs_scores`` is set) and returns one negative per row in a handful of
+vectorized passes.  The per-user :meth:`~repro.samplers.base.
+NegativeSampler.sample_for_user` remains as the scalar path; both consume
+randomness identically (the RNG-parity contract in ``samplers.base``), so
+they produce bit-identical negatives for a bound seed.
 
 Baselines (§IV-A2):
 
@@ -25,7 +30,7 @@ BNS-1..4   schedule/prior ablations (§IV-C2), see ``variants``
 """
 
 from repro.samplers.aobpr import AOBPRSampler
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 from repro.samplers.bns import BayesianNegativeSampler, PosteriorOnlySampler
 from repro.samplers.dns import DynamicNegativeSampler
 from repro.samplers.pns import PopularityNegativeSampler
@@ -50,6 +55,7 @@ from repro.samplers.variants import (
 
 __all__ = [
     "AOBPRSampler",
+    "BatchGroups",
     "BayesianNegativeSampler",
     "DynamicNegativeSampler",
     "ExposurePrior",
@@ -63,6 +69,7 @@ __all__ = [
     "RandomNegativeSampler",
     "SRNSSampler",
     "UniformPrior",
+    "group_batch_by_user",
     "make_bns",
     "make_bns_occupation_prior",
     "make_bns_uninformative_prior",

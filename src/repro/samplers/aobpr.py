@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, group_batch_by_user
 from repro.utils.validation import check_positive
 
 __all__ = ["AOBPRSampler"]
@@ -46,13 +46,51 @@ class AOBPRSampler(NegativeSampler):
             return np.empty(0, dtype=np.int64)
         if scores is None:
             raise ValueError("AOBPR requires the user's score vector")
-        negatives = np.nonzero(self.dataset.train.negative_mask(user))[0]
+        negatives = self.dataset.train.negative_items(user)
         if negatives.size == 0:
             raise ValueError(f"user {user} has no un-interacted items to sample")
         # Descending score order of the un-interacted items.
         order = negatives[np.argsort(-scores[negatives], kind="stable")]
         ranks = self._sample_ranks(order.size, n_pos)
         return order[ranks]
+
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched AOBPR: one descending argsort for every unique user.
+
+        Positives are pushed to ``-inf`` so one stable ``(U, n_items)``
+        argsort leaves each row's first ``n_negatives`` entries exactly
+        equal to the scalar path's per-user negative ordering (stability
+        preserves ascending item-id order among score ties in both).  Rank
+        draws reuse :meth:`_sample_ranks` per sorted unique user, keeping
+        the RNG-parity contract.
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if scores is None:
+            raise ValueError("AOBPR requires the batch score block")
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        train = self.dataset.train
+        block = np.array(scores, dtype=np.float64, copy=True)
+        rows, cols = train.positives_in_rows(groups.unique_users)
+        block[rows, cols] = -np.inf
+        order_desc = np.argsort(-block, axis=1, kind="stable")
+        n_negatives = train.n_items - train.degrees_of(groups.unique_users)
+        out = np.empty(users.size, dtype=np.int64)
+        for group, user, row_idx in groups.iter_groups():
+            if n_negatives[group] == 0:
+                raise ValueError(
+                    f"user {user} has no un-interacted items to sample"
+                )
+            ranks = self._sample_ranks(int(n_negatives[group]), row_idx.size)
+            out[row_idx] = order_desc[group, ranks]
+        return out
 
     def _sample_ranks(self, n_negatives: int, n_draws: int) -> np.ndarray:
         """Draw ranks from the truncated geometric ``p(r) ∝ q^r``.

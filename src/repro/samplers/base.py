@@ -1,34 +1,113 @@
 """Negative-sampler interface and shared sampling utilities.
 
-The trainer groups each mini-batch by user, computes the user's score
-vector once if the sampler declares ``needs_scores``, and calls
-:meth:`NegativeSampler.sample_for_user` to obtain one negative per positive
-in the batch.  This keeps every sampler O(candidates) per triple on top of
+The trainer forms each mini-batch, computes the score block for the batch's
+unique users in one :meth:`~repro.models.base.ScoreModel.scores_batch` call
+when the sampler declares ``needs_scores``, and dispatches one
+:meth:`NegativeSampler.sample_batch` to obtain one negative per positive in
+the batch.  Per-user scoring cost stays O(candidates) per triple on top of
 one shared O(n_items · d) score computation per user per batch — the
-linear-time budget the paper claims for BNS.
+linear-time budget the paper claims for BNS — but the constant factors move
+from Python into a handful of whole-batch NumPy calls.
+
+Randomness contract (RNG parity)
+--------------------------------
+``sample_batch`` and the scalar path (grouping the batch by sorted unique
+user and calling :meth:`NegativeSampler.sample_for_user` per group) must
+produce **bit-identical negatives for a bound seed** when given the same
+score values.  Every built-in batched implementation therefore consumes the
+bound generator in sorted-unique-user order, drawing for each user exactly
+what the scalar path would draw for that user's rows (the draw core lives
+in :meth:`repro.data.interactions.InteractionMatrix.uniform_negatives`);
+only the deterministic math — candidate scoring, empirical CDFs, priors,
+risk — is vectorized across the whole batch.  A property test pins this
+equivalence for every registered sampler
+(``tests/property/test_property_sampler_batch.py``).
+
+The one documented divergence sits a layer above: score *values* from
+``ScoreModel.scores_batch`` can differ from per-user ``scores`` in the last
+ulp (BLAS gemm vs gemv rounding), so trainer-level runs that switch
+``TrainingConfig.batched_sampling`` are statistically, not bitwise,
+equivalent.  At the sampler layer, same scores in → same negatives out.
+
+Score-block convention
+----------------------
+``sample_batch(users, pos_items, scores)`` takes ``scores`` with one row
+per **sorted unique** user of the batch, i.e. row ``r`` belongs to
+``np.unique(users)[r]``.  This is what the trainer naturally produces
+(``model.scores_batch(np.unique(batch_users))``) and avoids duplicating
+rows for repeated users.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Optional
+from dataclasses import dataclass
+from typing import ClassVar, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.data.dataset import ImplicitDataset
 from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["NegativeSampler"]
+__all__ = ["NegativeSampler", "BatchGroups", "group_batch_by_user"]
+
+
+@dataclass(frozen=True)
+class BatchGroups:
+    """Grouping of a mini-batch's rows by sorted unique user.
+
+    Attributes
+    ----------
+    unique_users:
+        Sorted distinct user ids, shape ``(U,)``.
+    rows:
+        For each batch row, the index of its user in ``unique_users``
+        (``np.unique``'s inverse), shape ``(B,)``.
+    order:
+        Batch-row indices stably sorted by user, shape ``(B,)``.
+    boundaries:
+        Group ``g`` occupies ``order[boundaries[g]:boundaries[g + 1]]``.
+    """
+
+    unique_users: np.ndarray
+    rows: np.ndarray
+    order: np.ndarray
+    boundaries: np.ndarray
+
+    @property
+    def n_groups(self) -> int:
+        return self.unique_users.size
+
+    def row_indices(self, group: int) -> np.ndarray:
+        """Batch-row indices of group ``group``, in batch order."""
+        return self.order[self.boundaries[group] : self.boundaries[group + 1]]
+
+    def iter_groups(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(group, user, row_indices)`` in sorted-user order."""
+        for group in range(self.n_groups):
+            yield group, int(self.unique_users[group]), self.row_indices(group)
+
+
+def group_batch_by_user(users: np.ndarray) -> BatchGroups:
+    """Group batch rows by user, preserving batch order within each group."""
+    users = np.asarray(users, dtype=np.int64).ravel()
+    unique_users, rows, counts = np.unique(
+        users, return_inverse=True, return_counts=True
+    )
+    order = np.argsort(rows, kind="stable")
+    boundaries = np.concatenate([[0], np.cumsum(counts)])
+    return BatchGroups(unique_users, rows, order, boundaries)
 
 
 class NegativeSampler(ABC):
     """Base class for all negative samplers.
 
     Lifecycle: construct → :meth:`bind` (dataset + model + rng) →
-    per epoch :meth:`on_epoch_start` → many :meth:`sample_for_user` calls.
+    per epoch :meth:`on_epoch_start` → per mini-batch :meth:`sample_batch`
+    (or many per-user :meth:`sample_for_user` calls on the scalar path).
     """
 
-    #: Whether the trainer must pass the user's full score vector.
+    #: Whether the trainer must pass score vectors.
     needs_scores: ClassVar[bool] = False
     #: Short name used in reports and experiment configs.
     name: ClassVar[str] = "base"
@@ -72,6 +151,36 @@ class NegativeSampler(ABC):
         ``needs_scores`` is true, else ``None``.
         """
 
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One negative per ``(users[b], pos_items[b])`` pair, whole batch.
+
+        ``scores`` — when ``needs_scores`` is true — is the score block for
+        the batch's **sorted unique** users: row ``r`` is the full score
+        vector of ``np.unique(users)[r]`` (see module docstring).
+
+        This compatibility fallback groups the batch by sorted unique user
+        and delegates to :meth:`sample_for_user`, which is exactly the
+        scalar trainer path; vectorized subclasses override it but must
+        keep the RNG-parity contract.
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        negatives = np.empty(users.size, dtype=np.int64)
+        for group, user, row_idx in groups.iter_groups():
+            user_scores = scores[group] if scores is not None else None
+            negatives[row_idx] = self.sample_for_user(
+                user, pos_items[row_idx], user_scores
+            )
+        return negatives
+
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
@@ -100,37 +209,132 @@ class NegativeSampler(ABC):
     def uniform_negatives(self, user: int, n: int) -> np.ndarray:
         """``n`` uniform draws from the user's un-interacted items I⁻_u.
 
-        Rejection sampling against the (sorted) positive set — the standard
-        trick: negatives dominate, so very few rounds are needed.  Draws are
-        independent (*with* replacement across the ``n`` results), matching
-        how candidate sets M_u are formed in the paper's Algorithm 1.
+        Delegates to the dataset's cached-negatives draw core so the scalar
+        and batched paths share one draw sequence (the RNG-parity anchor).
         """
-        if n == 0:
-            return np.empty(0, dtype=np.int64)
-        train = self.dataset.train
-        positives = train.items_of(user)
-        n_items = train.n_items
-        if positives.size >= n_items:
-            raise ValueError(f"user {user} has no un-interacted items to sample")
-        out = np.empty(n, dtype=np.int64)
-        filled = 0
-        rng = self.rng
-        while filled < n:
-            need = n - filled
-            # Oversample to amortize rejection rounds.
-            draw = rng.integers(n_items, size=max(need * 2, 8))
-            pos = np.searchsorted(positives, draw)
-            is_positive = (pos < positives.size) & (positives[np.minimum(pos, positives.size - 1)] == draw)
-            accepted = draw[~is_positive][:need]
-            out[filled : filled + accepted.size] = accepted
-            filled += accepted.size
-        return out
+        return self.dataset.train.uniform_negatives(user, n, self.rng)
 
     def candidate_matrix(self, user: int, n_pos: int, m: int) -> np.ndarray:
         """An ``(n_pos, m)`` matrix of uniform negative candidates M_u."""
         if m <= 0:
             raise ValueError(f"candidate set size must be positive, got {m}")
         return self.uniform_negatives(user, n_pos * m).reshape(n_pos, m)
+
+    def candidate_matrix_batch(self, groups: BatchGroups, m: int) -> np.ndarray:
+        """A ``(B, m)`` candidate matrix for a grouped mini-batch.
+
+        Fully vectorized: one ``rng.random(B · m)`` draw, one floor-scale
+        against each row's negative count, one gather from the dataset's
+        padded :meth:`~repro.data.interactions.InteractionMatrix.
+        negative_table`, one scatter back to batch order.
+
+        RNG parity holds bit-for-bit because ``Generator.random`` is
+        split-invariant — one ``random(B · m)`` call yields the same
+        doubles as per-user ``random(n_u · m)`` calls consumed in sorted
+        order, which is exactly what the scalar path's
+        :meth:`uniform_negatives` does — and the floor-scale/gather are
+        the same elementwise operations on the same values.
+
+        When the padded table would blow the dataset's ``max_cache_cells``
+        budget (huge universes), the draws fall back to a per-user loop
+        through :meth:`uniform_negatives` — O(1) extra memory and, by the
+        same split-invariance, still bit-identical output.
+        """
+        if m <= 0:
+            raise ValueError(f"candidate set size must be positive, got {m}")
+        train = self.dataset.train
+        if not train.supports_negative_table():
+            return self._candidate_matrix_batch_grouped(groups, m)
+        table, counts = train.negative_table()
+        sizes = np.diff(groups.boundaries)
+        grouped_users = np.repeat(groups.unique_users, sizes)
+        k = counts[grouped_users]
+        if k.size and k.min() == 0:
+            bad = int(grouped_users[np.argmin(k)])
+            raise ValueError(f"user {bad} has no un-interacted items to sample")
+        k = k[:, None]
+        draws = self.rng.random(grouped_users.size * m).reshape(-1, m)
+        indices = np.minimum((draws * k).astype(np.int64), k - 1)
+        grouped = table[grouped_users[:, None], indices]
+        out = np.empty_like(grouped)
+        out[groups.order] = grouped
+        return out
+
+    def _candidate_matrix_batch_grouped(
+        self, groups: BatchGroups, m: int
+    ) -> np.ndarray:
+        """Memory-bounded fallback: per-user draws, same stream, same output."""
+        train = self.dataset.train
+        rng = self.rng
+        grouped = np.empty((groups.rows.size, m), dtype=np.int64)
+        boundaries = groups.boundaries
+        for group, user in enumerate(groups.unique_users.tolist()):
+            start, stop = boundaries[group], boundaries[group + 1]
+            grouped[start:stop] = train.uniform_negatives(
+                user, (stop - start) * m, rng
+            ).reshape(-1, m)
+        out = np.empty_like(grouped)
+        out[groups.order] = grouped
+        return out
+
+    def sorted_negative_block(
+        self, groups: BatchGroups, scores: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-unique-user sorted negative scores, batched.
+
+        Returns ``(block, neg_counts)`` where ``block[r, :neg_counts[r]]``
+        holds user ``unique_users[r]``'s un-interacted item scores in
+        ascending order (positives are pushed to ``+inf`` padding at the
+        tail).  One ``(U, n_items)`` sort replaces U per-user
+        mask-allocate-and-sort passes; counts via ``side="right"``
+        searchsorted against a row's prefix are bitwise identical to
+        sorting ``scores[negative_mask]`` directly.
+        """
+        train = self.dataset.train
+        block = np.array(scores, dtype=np.float64, copy=True)
+        rows, cols = train.positives_in_rows(groups.unique_users)
+        block[rows, cols] = np.inf
+        block.sort(axis=1)
+        neg_counts = train.n_items - train.degrees_of(groups.unique_users)
+        return block, neg_counts
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_batch(
+        self, users: np.ndarray, pos_items: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        pos_items = np.asarray(pos_items, dtype=np.int64).ravel()
+        if users.size != pos_items.size:
+            raise ValueError(
+                f"users and pos_items must be parallel arrays, got sizes "
+                f"{users.size} and {pos_items.size}"
+            )
+        return users, pos_items
+
+    def _check_score_block(
+        self, groups: BatchGroups, scores: Optional[np.ndarray]
+    ) -> None:
+        if scores is None:
+            if self.needs_scores:
+                raise ValueError(
+                    f"{type(self).__name__} requires a score block with one "
+                    "row per sorted unique batch user"
+                )
+            return
+        n_items = self.dataset.n_items
+        if (
+            scores.ndim != 2
+            or scores.shape[0] != groups.n_groups
+            or scores.shape[1] != n_items
+        ):
+            raise ValueError(
+                f"score block must have shape ({groups.n_groups}, {n_items}) — "
+                "one full score row per sorted unique batch user — got "
+                f"{getattr(scores, 'shape', None)}"
+            )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -13,7 +13,10 @@ For each training pair ``(u, i)``:
 
 Complexity per user per batch: one ``O(n_items log n_items)`` sort of the
 negative score vector, then ``O(m)`` per positive — the linear-time budget
-claimed in §III-D.
+claimed in §III-D.  The batched path (:meth:`~BayesianNegativeSampler.
+sample_batch`) keeps that budget but pays it in three whole-batch NumPy
+passes — one candidate matrix, one batched CDF sort, one risk argmin —
+instead of per-user Python calls.
 
 :class:`PosteriorOnlySampler` implements the pure posterior criterion
 ``argmax_l unbias(l)`` (Eq. 35), which Fig. 4 contrasts with the full risk
@@ -28,7 +31,7 @@ import numpy as np
 
 from repro.core.risk import conditional_sampling_risk
 from repro.core.unbiasedness import unbias
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 from repro.samplers.priors import PopularityPrior, Prior
 from repro.train.loss import informativeness
 from repro.train.schedule import ConstantSchedule, Schedule
@@ -53,7 +56,7 @@ class _CandidatePosterior:
         """An ``(n_pos, m)`` candidate matrix (uniform draws or full I⁻_u)."""
         if self.n_candidates is not None:
             return sampler.candidate_matrix(user, n_pos, self.n_candidates)
-        negatives = np.nonzero(sampler.dataset.train.negative_mask(user))[0]
+        negatives = sampler.dataset.train.negative_items(user)
         if negatives.size == 0:
             raise ValueError(f"user {user} has no un-interacted items to sample")
         return np.broadcast_to(negatives, (n_pos, negatives.size))
@@ -69,14 +72,51 @@ class _CandidatePosterior:
         scores: np.ndarray,
     ) -> tuple:
         """Per-candidate ``(scores, F, unbias)`` for an ``(n_pos, m)`` set."""
-        negative_mask = sampler.dataset.train.negative_mask(user)
-        negative_scores = np.sort(scores[negative_mask])
+        negative_scores = np.sort(scores[sampler.dataset.train.negative_items(user)])
         candidate_scores = scores[candidates]
         cdf_values = (
             np.searchsorted(negative_scores, candidate_scores, side="right")
             / negative_scores.size
         )
         prior_fn = self.prior.fn_prob(user, candidates)
+        return candidate_scores, cdf_values, unbias(cdf_values, prior_fn)
+
+    def _posterior_for_batch(
+        self,
+        sampler: NegativeSampler,
+        groups: BatchGroups,
+        candidates: np.ndarray,
+        scores: np.ndarray,
+    ) -> tuple:
+        """Batched ``(scores, F, unbias)`` for a ``(B, m)`` candidate set.
+
+        One batched sort builds every unique user's empirical negative-score
+        CDF (Eq. 16); one thin ``searchsorted`` per unique user ranks that
+        user's candidates in it; the prior and posterior (Eq. 15/17) are one
+        vectorized pass over the whole candidate matrix.  All elementwise,
+        so bitwise identical to :meth:`_posterior_for_candidates` per row.
+        """
+        users = groups.unique_users[groups.rows]
+        sorted_block, neg_counts = sampler.sorted_negative_block(groups, scores)
+        candidate_scores = scores[groups.rows[:, None], candidates]
+        # Rank each user's candidates in its sorted negative prefix: the
+        # queries are laid out in grouped order once so the per-user pass
+        # is a thin `searchsorted` on two contiguous views, then a single
+        # scatter restores batch order.
+        m = candidates.shape[1]
+        queries = candidate_scores[groups.order].ravel()
+        counts_grouped = np.empty(queries.size, dtype=np.int64)
+        bounds = (groups.boundaries * m).tolist()
+        prefix_lengths = neg_counts.tolist()
+        for group in range(groups.n_groups):
+            start, stop = bounds[group], bounds[group + 1]
+            counts_grouped[start:stop] = sorted_block[
+                group, : prefix_lengths[group]
+            ].searchsorted(queries[start:stop], side="right")
+        counts = np.empty(candidates.shape, dtype=np.int64)
+        counts[groups.order] = counts_grouped.reshape(-1, m)
+        cdf_values = counts / neg_counts[groups.rows][:, None]
+        prior_fn = self.prior.fn_prob_batch(users, candidates)
         return candidate_scores, cdf_values, unbias(cdf_values, prior_fn)
 
 
@@ -150,6 +190,39 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         best = np.argmin(risk, axis=1)
         return candidates[np.arange(pos_items.size), best]
 
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized Algorithm 1 for a whole mini-batch.
+
+        One candidate matrix (draws grouped per sorted unique user — the
+        RNG-parity contract), one batched empirical-CDF construction, one
+        risk argmin over all ``B × m`` candidates.  The full-candidate-set
+        mode (``n_candidates=None``) has variable-width rows, so it keeps
+        the per-user fallback (which still reuses the shared score block).
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if scores is None:
+            raise ValueError("BNS requires the batch score block")
+        if self.n_candidates is None:
+            return super().sample_batch(users, pos_items, scores)
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        candidates = self.candidate_matrix_batch(groups, self.n_candidates)
+        candidate_scores, _, unbias_values = self._posterior_for_batch(
+            self, groups, candidates, scores
+        )
+        pos_scores = scores[groups.rows, pos_items]
+        info = informativeness(pos_scores[:, None], candidate_scores)
+        risk = conditional_sampling_risk(info, unbias_values, self._current_weight)
+        best = np.argmin(risk, axis=1)
+        return candidates[np.arange(users.size), best]
+
 
 class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
     """Pure posterior criterion (Eq. 35): ``argmax_l unbias(l)``.
@@ -188,3 +261,26 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
         )
         best = np.argmax(unbias_values, axis=1)
         return candidates[np.arange(pos_items.size), best]
+
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized Eq. 35: one posterior argmax over all candidates."""
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if scores is None:
+            raise ValueError("PosteriorOnlySampler requires the batch score block")
+        if self.n_candidates is None:
+            return super().sample_batch(users, pos_items, scores)
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        candidates = self.candidate_matrix_batch(groups, self.n_candidates)
+        _, _, unbias_values = self._posterior_for_batch(
+            self, groups, candidates, scores
+        )
+        best = np.argmax(unbias_values, axis=1)
+        return candidates[np.arange(users.size), best]

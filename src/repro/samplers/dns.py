@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, group_batch_by_user
 
 __all__ = ["DynamicNegativeSampler"]
 
@@ -46,3 +46,25 @@ class DynamicNegativeSampler(NegativeSampler):
         candidates = self.candidate_matrix(user, n_pos, self.n_candidates)
         best = np.argmax(scores[candidates], axis=1)
         return candidates[np.arange(n_pos), best]
+
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized DNS: one candidate matrix, one argmax for the batch.
+
+        Candidate draws stay grouped per sorted unique user (RNG-parity
+        contract); scoring and selection run once over the ``(B, m)``
+        candidate matrix against the unique-user score block.
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        candidates = self.candidate_matrix_batch(groups, self.n_candidates)
+        candidate_scores = scores[groups.rows[:, None], candidates]
+        best = np.argmax(candidate_scores, axis=1)
+        return candidates[np.arange(users.size), best]

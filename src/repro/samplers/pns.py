@@ -6,6 +6,13 @@ et al., 2013) carried over to recommendation.  The paper finds it *under*-
 performs RNS: popular un-interacted items are disproportionately likely to
 be false negatives, so oversampling them injects exactly the bias BNS is
 designed to avoid.
+
+Corner case: a user whose un-interacted items hold zero (or negligible,
+below 1e-6) total popularity mass is effectively unreachable by the
+popularity distribution; rejection sampling would spin forever (or need
+~1/mass draws per accept).  Such users fall back to uniform sampling over
+:math:`I^-_u`, the only distribution the data meaningfully supports for
+them.
 """
 
 from __future__ import annotations
@@ -49,7 +56,26 @@ class PopularityNegativeSampler(NegativeSampler):
         n = np.asarray(pos_items).size
         if n == 0:
             return np.empty(0, dtype=np.int64)
-        positives = self.dataset.train.items_of(user)
+        return self._draw_for_user(user, n)
+
+    # No sample_batch override: PNS's cost is the per-user rejection draws
+    # themselves, which the RNG-parity contract pins to sorted-unique-user
+    # order, so the inherited grouped fallback is already optimal (the
+    # distribution work — weights, cumulative sums — is global and shared).
+
+    # ------------------------------------------------------------------ #
+
+    def _draw_for_user(self, user: int, n: int) -> np.ndarray:
+        """``n`` popularity-distributed negatives for one user."""
+        train = self.dataset.train
+        positives = train.items_of(user)
+        # Reachable probability mass outside the positive set.  Rejection
+        # sampling against the popularity CDF needs an expected ~1/mass
+        # draws per accepted negative, so negligible mass — not just
+        # exactly zero — means the loop would effectively hang; those
+        # users fall back to the uniform distribution (module docstring).
+        if 1.0 - float(self._distribution[positives].sum()) <= 1e-6:
+            return self.uniform_negatives(user, n)
         out = np.empty(n, dtype=np.int64)
         filled = 0
         while filled < n:

@@ -63,6 +63,30 @@ class Prior(ABC):
     def fn_prob(self, user: int, items: np.ndarray) -> np.ndarray:
         """``P_fn(l)`` for each item id in ``items`` (same shape)."""
 
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """``P_fn`` for a multi-user batch: row ``b`` of ``items`` belongs
+        to ``users[b]``.
+
+        ``users`` has shape ``(B,)`` and ``items`` shape ``(B, ...)``; the
+        result matches ``items``.  This fallback loops unique users over
+        :meth:`fn_prob`; user-independent and vectorizable priors override
+        it with a single array pass.  Values must equal the per-user
+        :meth:`fn_prob` exactly — the sampler parity contract
+        (``repro.samplers.base``) depends on it.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        if items.shape[:1] != users.shape:
+            raise ValueError(
+                f"items must have one row per user, got {items.shape} rows "
+                f"for {users.size} users"
+            )
+        out = np.empty(items.shape, dtype=np.float64)
+        for user in np.unique(users):
+            mask = users == user
+            out[mask] = self.fn_prob(int(user), items[mask])
+        return out
+
     def tn_prob(self, user: int, items: np.ndarray) -> np.ndarray:
         """``P_tn(l) = 1 − P_fn(l)``."""
         return 1.0 - self.fn_prob(user, items)
@@ -87,6 +111,11 @@ class PopularityPrior(Prior):
         items = np.asarray(items, dtype=np.int64)
         return self._prob[items]
 
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        # User-independent: one table gather covers the whole batch.
+        items = np.asarray(items, dtype=np.int64)
+        return self._prob[items]
+
 
 class UniformPrior(Prior):
     """Non-informative prior: the same ``P_fn`` for every item (BNS-3).
@@ -108,6 +137,10 @@ class UniformPrior(Prior):
             self._resolved = self._value
 
     def fn_prob(self, user: int, items: np.ndarray) -> np.ndarray:
+        items = np.asarray(items, dtype=np.int64)
+        return np.full(items.shape, self._resolved)
+
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         items = np.asarray(items, dtype=np.int64)
         return np.full(items.shape, self._resolved)
 
@@ -156,6 +189,15 @@ class OccupationPrior(Prior):
         adjusted = self._base[items] * (1.0 + self._delta[occupation, items])
         return np.clip(adjusted, 0.0, 1.0)
 
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        occupations = self._occupations[users]
+        # Broadcast each row's occupation across that row's items.
+        occupations = occupations.reshape((-1,) + (1,) * (items.ndim - 1))
+        adjusted = self._base[items] * (1.0 + self._delta[occupations, items])
+        return np.clip(adjusted, 0.0, 1.0)
+
 
 class ExposurePrior(Prior):
     """Popularity prior damped on "viewed but non-clicked" items.
@@ -200,17 +242,22 @@ class ExposurePrior(Prior):
         train = dataset.train
         n = max(train.n_interactions, 1)
         self._base = train.item_popularity.astype(np.float64) / n
-        self._impression_csr = self._impressions.tocsr()
 
     def fn_prob(self, user: int, items: np.ndarray) -> np.ndarray:
         items = np.asarray(items, dtype=np.int64)
-        flat = items.ravel()
-        exposed = np.asarray(
-            self._impression_csr[np.full(flat.size, user), flat]
-        ).ravel().astype(bool)
-        base = self._base[flat]
-        damped = np.where(exposed, base * self._damping, base)
-        return damped.reshape(items.shape)
+        exposed = self._impressions.contains_pairs(
+            np.full(items.shape, user, dtype=np.int64), items
+        )
+        base = self._base[items]
+        return np.where(exposed, base * self._damping, base)
+
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        broadcast_users = users.reshape((-1,) + (1,) * (items.ndim - 1))
+        exposed = self._impressions.contains_pairs(broadcast_users, items)
+        base = self._base[items]
+        return np.where(exposed, base * self._damping, base)
 
 
 class OraclePrior(Prior):
@@ -233,4 +280,11 @@ class OraclePrior(Prior):
     def fn_prob(self, user: int, items: np.ndarray) -> np.ndarray:
         items = np.asarray(items, dtype=np.int64)
         fn_mask = self.dataset.false_negative_mask(user)[items]
+        return np.where(fn_mask, self._fn_value, self._tn_value)
+
+    def fn_prob_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        broadcast_users = users.reshape((-1,) + (1,) * (items.ndim - 1))
+        fn_mask = self.dataset.test.contains_pairs(broadcast_users, items)
         return np.where(fn_mask, self._fn_value, self._tn_value)

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, group_batch_by_user
 
 __all__ = ["RandomNegativeSampler"]
 
@@ -30,3 +30,21 @@ class RandomNegativeSampler(NegativeSampler):
         scores: Optional[np.ndarray],
     ) -> np.ndarray:
         return self.uniform_negatives(user, np.asarray(pos_items).size)
+
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched uniform sampling.
+
+        RNS has no per-candidate math to vectorize — the whole cost *is*
+        the draws, which the RNG-parity contract pins to sorted-unique-user
+        order — so this is the shared rejection core minus the per-row
+        ``sample_for_user`` dispatch.
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.candidate_matrix_batch(group_batch_by_user(users), 1)[:, 0]

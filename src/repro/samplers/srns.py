@@ -26,7 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, group_batch_by_user
 from repro.utils.validation import check_non_negative
 
 __all__ = ["SRNSSampler"]
@@ -131,6 +131,42 @@ class SRNSSampler(NegativeSampler):
         value = scores[candidate_items] + self.alpha * std[slot_ids]
         best = np.argmax(value, axis=1)
         return candidate_items[np.arange(n_pos), best]
+
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched SRNS: one value matrix and one argmax for the batch.
+
+        Memory-slot draws stay grouped per sorted unique user (RNG-parity
+        contract); the score-plus-variance selection runs once over the
+        whole ``(B, n_candidates)`` candidate matrix.
+        """
+        users, pos_items = self._check_batch(users, pos_items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if scores is None:
+            raise ValueError("SRNS requires the batch score block")
+        groups = group_batch_by_user(users)
+        self._check_score_block(groups, scores)
+        slot_ids = np.empty((users.size, self.n_candidates), dtype=np.int64)
+        for _, _, row_idx in groups.iter_groups():
+            slot_ids[row_idx] = self.rng.integers(
+                self.memory_size, size=(row_idx.size, self.n_candidates)
+            )
+        std_block = np.stack(
+            [self._variance_std(user) for user in groups.unique_users.tolist()]
+        )
+        row_arange = np.arange(users.size)
+        candidate_items = self._memory[groups.unique_users[groups.rows][:, None], slot_ids]
+        value = (
+            scores[groups.rows[:, None], candidate_items]
+            + self.alpha * std_block[groups.rows[:, None], slot_ids]
+        )
+        best = np.argmax(value, axis=1)
+        return candidate_items[row_arange, best]
 
     def _variance_std(self, user: int) -> np.ndarray:
         """Score std over the filled portion of the history window."""

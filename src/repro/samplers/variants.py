@@ -93,6 +93,14 @@ class WarmStartSampler(NegativeSampler):
     ) -> np.ndarray:
         return self._active.sample_for_user(user, pos_items, scores)
 
+    def sample_batch(
+        self,
+        users: np.ndarray,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self._active.sample_batch(users, pos_items, scores)
+
 
 # ---------------------------------------------------------------------- #
 # Variant factories

@@ -1,11 +1,20 @@
 """The pairwise training loop (outer loop of the paper's Algorithm 1).
 
-Each epoch shuffles the training pairs, forms mini-batches, groups every
-batch by user, computes each user's score vector once when the sampler
-needs it, lets the sampler pick one negative per positive, and takes a BPR
-step.  ``batch_size=1`` reproduces the paper's per-triple SGD for MF;
-larger batches vectorize the same computation (the paper uses 128/1024 for
-LightGCN).
+Each epoch shuffles the training pairs, forms mini-batches, fetches the
+score block of each batch's unique users in one
+:meth:`~repro.models.base.ScoreModel.scores_batch` call when the sampler
+needs scores, dispatches one
+:meth:`~repro.samplers.base.NegativeSampler.sample_batch` to pick one
+negative per positive, and takes a BPR step.  ``batch_size=1`` reproduces
+the paper's per-triple SGD for MF; larger batches vectorize the same
+computation (the paper uses 128/1024 for LightGCN).
+
+``TrainingConfig(batched_sampling=False)`` keeps the legacy scalar path —
+group by user, per-user ``scores`` + ``sample_for_user`` — for A/B checks
+and benchmarks.  The two paths draw identical randomness (the samplers'
+RNG-parity contract) and differ only in score rounding: ``scores_batch``
+is a BLAS gemm whose last-ulp rounding can differ from the per-user gemv,
+so runs are statistically equivalent, not bitwise.
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ class TrainingConfig:
     seed: Optional[int] = 0
     lr_schedule: Optional[Schedule] = None
     shuffle: bool = True
+    #: Use the vectorized sampling pipeline (one ``scores_batch`` + one
+    #: ``sample_batch`` per mini-batch).  ``False`` restores the legacy
+    #: per-user scalar path.
+    batched_sampling: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.epochs, "epochs")
@@ -182,7 +195,25 @@ class Trainer:
     def _sample_negatives(
         self, batch_users: np.ndarray, batch_pos: np.ndarray
     ) -> np.ndarray:
-        """One negative per (user, positive), grouping score reuse by user."""
+        """One negative per (user, positive) for the whole mini-batch.
+
+        Batched path: group the batch once, fetch the unique users' score
+        block in one ``scores_batch`` call, dispatch one ``sample_batch``.
+        Single-row batches (the paper's ``batch_size=1`` SGD for MF) skip
+        the batch machinery — grouping a one-row batch costs more than it
+        saves, and the draw cores are shared so the negatives are the same.
+        """
+        if not self.config.batched_sampling or batch_users.size == 1:
+            return self._sample_negatives_scalar(batch_users, batch_pos)
+        scores = None
+        if self.sampler.needs_scores:
+            scores = self.model.scores_batch(np.unique(batch_users))
+        return self.sampler.sample_batch(batch_users, batch_pos, scores)
+
+    def _sample_negatives_scalar(
+        self, batch_users: np.ndarray, batch_pos: np.ndarray
+    ) -> np.ndarray:
+        """Legacy per-user path: group by user, score and sample per group."""
         negatives = np.empty(batch_users.size, dtype=np.int64)
         if batch_users.size == 1:
             user = int(batch_users[0])

@@ -171,3 +171,124 @@ class TestSetAlgebra:
 
     def test_repr(self, micro_train):
         assert "n_users=4" in repr(micro_train)
+
+
+class TestBatchedLookups:
+    def test_indptr_indices_expose_csr(self, micro_train):
+        assert micro_train.indptr.size == micro_train.n_users + 1
+        assert micro_train.indices.size == micro_train.n_interactions
+        start, stop = micro_train.indptr[1], micro_train.indptr[2]
+        assert np.array_equal(
+            micro_train.indices[start:stop], micro_train.items_of(1)
+        )
+
+    def test_degrees_of_matches_degree_of(self, micro_train):
+        users = np.array([3, 0, 0, 2])
+        expected = [micro_train.degree_of(int(u)) for u in users]
+        assert np.array_equal(micro_train.degrees_of(users), expected)
+
+    def test_degrees_of_out_of_range(self, micro_train):
+        with pytest.raises(IndexError):
+            micro_train.degrees_of(np.array([0, 99]))
+
+    def test_contains_pairs_matches_contains(self, micro_train):
+        users = np.repeat(np.arange(4), 8)
+        items = np.tile(np.arange(8), 4)
+        expected = [
+            micro_train.contains(int(u), int(i)) for u, i in zip(users, items)
+        ]
+        assert np.array_equal(micro_train.contains_pairs(users, items), expected)
+
+    def test_contains_pairs_broadcasts(self, micro_train):
+        # One user row against a 2-D item matrix.
+        items = np.array([[0, 1], [3, 7]])
+        result = micro_train.contains_pairs(np.int64(0), items)
+        assert result.shape == items.shape
+        assert np.array_equal(result, [[True, True], [False, False]])
+
+    def test_contains_pairs_empty_matrix(self):
+        empty = InteractionMatrix(3, 3, [], [])
+        assert not empty.contains_pairs(np.array([0, 1]), np.array([0, 2])).any()
+
+    def test_positives_in_rows_scatter(self, micro_train):
+        users = np.array([2, 0])
+        rows, cols = micro_train.positives_in_rows(users)
+        block = np.zeros((2, micro_train.n_items), dtype=bool)
+        block[rows, cols] = True
+        assert np.array_equal(~block[0], micro_train.negative_mask(2))
+        assert np.array_equal(~block[1], micro_train.negative_mask(0))
+
+    def test_positives_in_rows_empty_users(self, micro_train):
+        rows, cols = micro_train.positives_in_rows(np.empty(0, dtype=np.int64))
+        assert rows.size == 0 and cols.size == 0
+
+    def test_negative_items_is_mask_complement(self, micro_train):
+        for user in range(micro_train.n_users):
+            expected = np.nonzero(micro_train.negative_mask(user))[0]
+            assert np.array_equal(micro_train.negative_items(user), expected)
+        # Second call hits the cache and returns the same contents.
+        again = micro_train.negative_items(0)
+        assert np.array_equal(again, np.nonzero(micro_train.negative_mask(0))[0])
+
+
+class TestNegativeSampling:
+    def test_uniform_negatives_never_positive(self, micro_train):
+        rng = np.random.default_rng(0)
+        draws = micro_train.uniform_negatives(0, 500, rng)
+        assert draws.size == 500
+        assert not set(micro_train.items_of(0).tolist()).intersection(draws.tolist())
+
+    def test_uniform_negatives_saturated_user(self):
+        full = InteractionMatrix(1, 3, [0, 0, 0], [0, 1, 2])
+        with pytest.raises(ValueError, match="no un-interacted"):
+            full.uniform_negatives(0, 1, np.random.default_rng(0))
+
+    def test_sample_negatives_rows_respects_each_row_user(self, micro_train):
+        rng = np.random.default_rng(3)
+        users = np.array([0, 3, 1, 0, 2, 2, 1, 3] * 25)
+        draws = micro_train.sample_negatives_rows(users, rng)
+        assert draws.shape == users.shape
+        for user, item in zip(users.tolist(), draws.tolist()):
+            assert not micro_train.contains(user, item)
+
+    def test_sample_negatives_rows_covers_negatives(self, micro_train):
+        rng = np.random.default_rng(5)
+        users = np.zeros(2000, dtype=np.int64)
+        draws = micro_train.sample_negatives_rows(users, rng)
+        assert set(draws.tolist()) == set(micro_train.negative_items(0).tolist())
+
+    def test_sample_negatives_rows_saturated_user(self):
+        train = InteractionMatrix.from_pairs(
+            [(0, i) for i in range(4)] + [(1, 0)], 2, 4
+        )
+        with pytest.raises(ValueError, match="user 0 has no un-interacted"):
+            train.sample_negatives_rows(np.array([1, 0]), np.random.default_rng(0))
+
+    def test_sample_negatives_rows_empty(self, micro_train):
+        out = micro_train.sample_negatives_rows(
+            np.empty(0, dtype=np.int64), np.random.default_rng(0)
+        )
+        assert out.size == 0
+
+
+class TestCacheBudget:
+    def test_negative_table_guard(self, micro_train):
+        micro_train.max_cache_cells = 4  # force the huge-universe branch
+        assert not micro_train.supports_negative_table()
+        with pytest.raises(ValueError, match="max_cache_cells"):
+            micro_train.negative_table()
+
+    def test_negative_items_stops_memoizing_over_budget(self, micro_train):
+        micro_train.max_cache_cells = micro_train.negative_items(0).size
+        assert len(micro_train._negatives_cache) == 1
+        # Further users exceed the budget: computed per call, not cached...
+        second = micro_train.negative_items(1)
+        assert len(micro_train._negatives_cache) == 1
+        # ...but results stay correct.
+        assert np.array_equal(second, np.nonzero(micro_train.negative_mask(1))[0])
+
+    def test_indptr_indices_read_only(self, micro_train):
+        with pytest.raises(ValueError):
+            micro_train.indptr[0] = 99
+        with pytest.raises(ValueError):
+            micro_train.indices[0] = 99

@@ -40,3 +40,52 @@ class TestAbstractContract:
     def test_cannot_instantiate_base(self):
         with pytest.raises(TypeError):
             ScoreModel()
+
+
+class TestScoresBatch:
+    def test_matmul_matches_per_user(self):
+        from repro.models.biased_mf import BiasedMatrixFactorization
+
+        for model in (
+            MatrixFactorization(5, 7, n_factors=3, seed=1),
+            BiasedMatrixFactorization(5, 7, n_factors=3, seed=1),
+        ):
+            users = np.array([4, 0, 2])
+            block = model.scores_batch(users)
+            assert block.shape == (3, 7)
+            for row, user in enumerate(users):
+                assert np.allclose(block[row], model.scores(int(user)))
+
+    def test_lightgcn_matches_per_user(self, micro_dataset):
+        from repro.models.lightgcn import LightGCN
+
+        model = LightGCN(micro_dataset.train, n_factors=4, seed=2)
+        users = np.array([1, 3])
+        block = model.scores_batch(users)
+        for row, user in enumerate(users):
+            assert np.allclose(block[row], model.scores(int(user)))
+
+    def test_empty_users(self):
+        model = MatrixFactorization(4, 6, n_factors=3, seed=0)
+        assert model.scores_batch(np.empty(0, dtype=np.int64)).shape == (0, 6)
+
+    def test_out_of_range_rejected(self):
+        model = MatrixFactorization(4, 6, n_factors=3, seed=0)
+        with pytest.raises(IndexError):
+            model.scores_batch(np.array([0, 4]))
+
+
+class TestScoreMatrixChunking:
+    def test_chunked_equals_single_call(self):
+        model = MatrixFactorization(9, 5, n_factors=3, seed=0)
+        users = np.array([8, 3, 3, 0, 5, 7, 1])
+        full = model.score_matrix(users)
+        chunked = model.score_matrix(users, chunk_size=2)
+        # allclose, not array_equal: BLAS rounding differs across gemm shapes.
+        assert full.shape == chunked.shape
+        assert np.allclose(full, chunked)
+
+    def test_invalid_chunk_size(self):
+        model = MatrixFactorization(4, 6, n_factors=3, seed=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            model.score_matrix(chunk_size=0)

@@ -90,3 +90,140 @@ class TestUniformNegatives:
         a.bind(micro_dataset, micro_model, seed=9)
         b.bind(micro_dataset, micro_model, seed=9)
         assert np.array_equal(a.uniform_negatives(0, 20), b.uniform_negatives(0, 20))
+
+
+class TestBatchGrouping:
+    def test_groups_cover_batch_in_order(self):
+        from repro.samplers.base import group_batch_by_user
+
+        users = np.array([3, 1, 3, 0, 1, 3])
+        groups = group_batch_by_user(users)
+        assert np.array_equal(groups.unique_users, [0, 1, 3])
+        seen = np.concatenate(
+            [groups.row_indices(g) for g in range(groups.n_groups)]
+        )
+        assert sorted(seen.tolist()) == list(range(users.size))
+        # Within a group, rows keep batch order.
+        assert np.array_equal(groups.row_indices(2), [0, 2, 5])
+        assert np.array_equal(groups.unique_users[groups.rows], users)
+
+
+class TestSampleBatchFallback:
+    @pytest.fixture
+    def bound(self, micro_dataset, micro_model):
+        sampler = RandomNegativeSampler()
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        return sampler
+
+    def test_shape_and_validity(self, bound, micro_dataset):
+        users = np.array([0, 2, 0, 1, 3, 2])
+        pos = np.array([0, 4, 1, 2, 7, 5])
+        out = bound.sample_batch(users, pos)
+        assert out.shape == users.shape
+        for user, item in zip(users.tolist(), out.tolist()):
+            assert not micro_dataset.train.contains(user, item)
+
+    def test_mismatched_arrays_rejected(self, bound):
+        with pytest.raises(ValueError, match="parallel"):
+            bound.sample_batch(np.array([0, 1]), np.array([0]))
+
+    def test_score_block_shape_rejected(self, micro_dataset, micro_model):
+        from repro.samplers.dns import DynamicNegativeSampler
+
+        sampler = DynamicNegativeSampler(n_candidates=2)
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        users = np.array([0, 1, 0])
+        pos = np.array([0, 2, 1])
+        # Two unique users -> block must have exactly two rows.
+        bad = micro_model.scores_batch(np.array([0, 1, 2]))
+        with pytest.raises(ValueError, match="sorted unique"):
+            sampler.sample_batch(users, pos, bad)
+
+    def test_missing_scores_rejected_when_needed(self, micro_dataset, micro_model):
+        from repro.samplers.dns import DynamicNegativeSampler
+
+        sampler = DynamicNegativeSampler(n_candidates=2)
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        with pytest.raises(ValueError, match="score"):
+            sampler.sample_batch(np.array([0]), np.array([1]), None)
+
+
+class TestCandidateMatrixBatch:
+    def test_rows_match_per_user_draws(self, micro_dataset, micro_model):
+        from repro.samplers.base import group_batch_by_user
+
+        users = np.array([2, 0, 2, 1])
+        a = RandomNegativeSampler()
+        a.bind(micro_dataset, micro_model, seed=5)
+        batch = a.candidate_matrix_batch(group_batch_by_user(users), 3)
+        assert batch.shape == (4, 3)
+
+        b = RandomNegativeSampler()
+        b.bind(micro_dataset, micro_model, seed=5)
+        # Scalar reference: sorted unique users, same per-user draw counts.
+        expected = np.empty_like(batch)
+        expected[1] = b.candidate_matrix(0, 1, 3)
+        expected[3] = b.candidate_matrix(1, 1, 3)
+        expected[[0, 2]] = b.candidate_matrix(2, 2, 3)
+        assert np.array_equal(batch, expected)
+
+    def test_invalid_m(self, micro_dataset, micro_model):
+        from repro.samplers.base import group_batch_by_user
+
+        sampler = RandomNegativeSampler()
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        with pytest.raises(ValueError, match="positive"):
+            sampler.candidate_matrix_batch(group_batch_by_user(np.array([0])), 0)
+
+
+class TestSortedNegativeBlock:
+    def test_prefixes_equal_sorted_negative_scores(self, micro_dataset, micro_model):
+        from repro.samplers.base import group_batch_by_user
+
+        sampler = RandomNegativeSampler()
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        unique_users = np.array([0, 2, 3])
+        scores = micro_model.scores_batch(unique_users)
+        groups = group_batch_by_user(unique_users)
+        block, counts = sampler.sorted_negative_block(groups, scores)
+        for row, user in enumerate(unique_users.tolist()):
+            negatives = micro_dataset.train.negative_items(user)
+            assert counts[row] == negatives.size
+            assert np.array_equal(
+                block[row, : counts[row]], np.sort(scores[row][negatives])
+            )
+            assert np.all(np.isinf(block[row, counts[row] :]))
+
+
+class TestCandidateMatrixBatchFallback:
+    def test_table_and_grouped_paths_bit_identical(self, micro_dataset, micro_model):
+        """The memory-bounded per-user fallback must consume the generator
+        exactly like the table fast path (Generator.random split
+        invariance), so both yield the same candidates for the same seed."""
+        from repro.samplers.base import group_batch_by_user
+
+        users = np.array([2, 0, 2, 1, 3, 0, 0])
+        groups = group_batch_by_user(users)
+
+        fast = RandomNegativeSampler()
+        fast.bind(micro_dataset, micro_model, seed=11)
+        assert micro_dataset.train.supports_negative_table()
+        via_table = fast.candidate_matrix_batch(groups, 4)
+
+        slow = RandomNegativeSampler()
+        slow.bind(micro_dataset, micro_model, seed=11)
+        via_loop = slow._candidate_matrix_batch_grouped(groups, 4)
+        assert np.array_equal(via_table, via_loop)
+
+    def test_score_block_width_rejected(self, micro_dataset, micro_model):
+        """A block narrower than n_items must error, not silently clamp
+        the empirical-CDF prefix (wrong denominators, wrong negatives)."""
+        from repro.samplers.dns import DynamicNegativeSampler
+
+        sampler = DynamicNegativeSampler(n_candidates=2)
+        sampler.bind(micro_dataset, micro_model, seed=0)
+        users = np.array([0, 1])
+        pos = np.array([0, 2])
+        narrow = micro_model.scores_batch(users)[:, :4]
+        with pytest.raises(ValueError, match="score block"):
+            sampler.sample_batch(users, pos, narrow)

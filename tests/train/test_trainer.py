@@ -174,3 +174,46 @@ class TestTrainerCallbacks:
         trainer = make_trainer(micro_dataset, epochs=3, sampler=ProbeSampler())
         trainer.fit()
         assert epochs_seen == [0, 1, 2]
+
+
+class TestBatchedSampling:
+    def test_batched_is_default(self):
+        assert TrainingConfig().batched_sampling is True
+
+    def test_batched_matches_scalar_for_score_free_sampler(self, micro_dataset):
+        """RNS never reads scores, so the batched and scalar trainer paths
+        consume identical randomness AND produce bitwise-identical runs."""
+        batched = make_trainer(micro_dataset, epochs=3, batched_sampling=True)
+        scalar = make_trainer(micro_dataset, epochs=3, batched_sampling=False)
+        history_b, history_s = batched.fit(), scalar.fit()
+        for epoch_b, epoch_s in zip(history_b, history_s):
+            assert np.array_equal(epoch_b.neg_items, epoch_s.neg_items)
+        assert np.array_equal(batched.model.user_factors, scalar.model.user_factors)
+
+    def test_batched_scalar_statistically_close_for_dns(self, tiny_dataset):
+        """Score-dependent samplers see gemm-vs-gemv rounding (the one
+        documented divergence), so runs are close, not bitwise equal."""
+        batched = make_trainer(
+            tiny_dataset,
+            epochs=5,
+            batch_size=8,
+            sampler=DynamicNegativeSampler(n_candidates=3),
+            batched_sampling=True,
+        )
+        scalar = make_trainer(
+            tiny_dataset,
+            epochs=5,
+            batch_size=8,
+            sampler=DynamicNegativeSampler(n_candidates=3),
+            batched_sampling=False,
+        )
+        history_b, history_s = batched.fit(), scalar.fit()
+        assert abs(history_b[-1].mean_loss - history_s[-1].mean_loss) < 0.05
+
+    def test_batched_negatives_never_train_positives(self, micro_dataset):
+        trainer = make_trainer(
+            micro_dataset, epochs=2, sampler=DynamicNegativeSampler(n_candidates=3)
+        )
+        for stats in trainer.fit():
+            for user, item in zip(stats.users, stats.neg_items):
+                assert not micro_dataset.train.contains(int(user), int(item))
