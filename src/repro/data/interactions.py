@@ -13,7 +13,9 @@ O(log degree) binary searches.
 Batched access is first class: the CSR index is exposed directly
 (:attr:`indptr` / :attr:`indices`), pair membership is vectorized over whole
 ``(user, item)`` arrays via a lazily cached flat-key index
-(:meth:`contains_pairs`), per-user positive sets can be scattered into a
+(:meth:`contains_pairs`, with a padding-aware row variant
+:meth:`hits_in_rows` for the evaluator's ranked-id blocks), per-user
+positive sets can be scattered into a
 dense ``(batch, n_items)`` block in one shot (:meth:`positives_in_rows`),
 and negative sampling comes in two flavours: the per-user draw core
 :meth:`uniform_negatives` (the draw sequence every sampler's scalar and
@@ -288,6 +290,27 @@ class InteractionMatrix:
         pos = np.searchsorted(pair_keys, keys)
         pos_clipped = np.minimum(pos, pair_keys.size - 1)
         return (pos < pair_keys.size) & (pair_keys[pos_clipped] == keys)
+
+    def hits_in_rows(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Row-wise membership for padded per-user item lists.
+
+        ``items`` has one row per entry of ``users``; ``out[r, j]`` is
+        ``True`` iff ``items[r, j] >= 0`` and ``(users[r], items[r, j])``
+        is a stored interaction.  Negative ids are padding (see
+        :func:`repro.eval.topk.top_k_items_batch`) and map to ``False``.
+        This is how the batched evaluator turns a chunk's ranked-id block
+        into a hit matrix against the test split in one
+        :meth:`contains_pairs` call.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 2 or items.shape[0] != users.size:
+            raise ValueError(
+                f"items must be 2-D with one row per user, got shape "
+                f"{items.shape} for {users.size} users"
+            )
+        valid = items >= 0
+        return self.contains_pairs(users[:, None], np.where(valid, items, 0)) & valid
 
     def positives_in_rows(self, users: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Scatter coordinates of the users' positive sets in a dense block.

@@ -20,15 +20,24 @@ from repro.eval.diversity import (
     popularity_lift,
     recommendation_footprint,
 )
-from repro.eval.protocol import Evaluator
+from repro.eval.protocol import Evaluator, score_block
 from repro.eval.ranking import (
     auc,
+    auc_block,
     average_precision_at_k,
+    average_precision_at_k_block,
     hit_rate_at_k,
+    hit_rate_at_k_block,
+    hits_against,
     ndcg_at_k,
+    ndcg_at_k_block,
     precision_at_k,
+    precision_at_k_block,
+    ranking_metrics_block,
     recall_at_k,
+    recall_at_k_block,
     reciprocal_rank,
+    reciprocal_rank_block,
 )
 from repro.eval.sampling_quality import (
     SamplingQualityRecorder,
@@ -42,7 +51,7 @@ from repro.eval.significance import (
     paired_sign_test,
 )
 from repro.eval.stratified import popularity_buckets, stratified_recall
-from repro.eval.topk import top_k_items
+from repro.eval.topk import top_k_items, top_k_items_batch, top_k_premasked
 
 __all__ = [
     "Evaluator",
@@ -50,23 +59,35 @@ __all__ = [
     "SamplingQualityRecorder",
     "ScoreDistributionRecorder",
     "auc",
+    "auc_block",
     "average_precision_at_k",
+    "average_precision_at_k_block",
     "average_recommendation_popularity",
     "catalog_coverage",
     "false_negative_flags",
     "hit_rate_at_k",
+    "hit_rate_at_k_block",
+    "hits_against",
     "popularity_lift",
     "recommendation_footprint",
     "informativeness_measure",
     "ndcg_at_k",
+    "ndcg_at_k_block",
     "paired_bootstrap_test",
     "paired_sign_test",
     "popularity_buckets",
     "precision_at_k",
+    "precision_at_k_block",
+    "ranking_metrics_block",
     "recall_at_k",
+    "recall_at_k_block",
     "reciprocal_rank",
+    "reciprocal_rank_block",
+    "score_block",
     "score_snapshot",
     "stratified_recall",
     "top_k_items",
+    "top_k_items_batch",
+    "top_k_premasked",
     "true_negative_rate",
 ]

@@ -1,14 +1,32 @@
-"""Per-user ranking metrics.
+"""Ranking metrics: per-user scalars and whole-block array kernels.
 
-All functions take a *ranked* array of recommended item ids (best first,
-train positives already excluded) and the user's set of relevant items
-(test positives), and return a scalar in [0, 1].  The evaluator averages
-them over users, the paper's protocol.
+Two families share one set of formulas:
+
+* the **scalar** functions (``precision_at_k`` …) take a *ranked* array of
+  recommended item ids (best first, train positives already excluded) and
+  the user's set of relevant items (test positives), returning a scalar in
+  [0, 1] — the reference implementations the evaluator's per-user path
+  uses and the tests reason about;
+* the **block** kernels (``precision_at_k_block`` …) take a ``(U, W)``
+  boolean hit matrix (row ``r`` = user ``r``'s hit flags down their ranked
+  list, padded ``False`` past the list length) and return a ``(U,)`` array
+  — the vectorized evaluation hot path.
+
+Every sum in both families is accumulated **sequentially in rank order**
+(``np.cumsum``), so for identical hit patterns the scalar value and the
+kernel row are bitwise equal — the invariant the evaluator's batched/scalar
+parity tests pin.  (Summing the hit terms in rank order also keeps the
+classic property that a perfect ranking's DCG equals its ideal DCG exactly,
+making NDCG exactly 1.0 instead of drifting an ulp above it.)
+
+The scalar functions accept an optional precomputed ``hits`` array (aligned
+with ``ranked``) so a caller evaluating several cutoffs per user builds the
+hit flags once instead of once per metric per cutoff.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
@@ -20,12 +38,62 @@ __all__ = [
     "average_precision_at_k",
     "reciprocal_rank",
     "auc",
+    "hits_against",
+    "precision_at_k_block",
+    "recall_at_k_block",
+    "ndcg_at_k_block",
+    "hit_rate_at_k_block",
+    "average_precision_at_k_block",
+    "reciprocal_rank_block",
+    "auc_block",
+    "ranking_metrics_block",
 ]
 
 
-def _hits(ranked: np.ndarray, relevant: Set[int], k: int) -> np.ndarray:
+# ---------------------------------------------------------------------- #
+# Shared pieces
+# ---------------------------------------------------------------------- #
+
+#: Lazily grown cache of the DCG discounts ``1 / log2(r + 2)``.
+_DISCOUNT_CACHE = np.empty(0)
+
+
+def _discounts(n: int) -> np.ndarray:
+    """The first ``n`` DCG discount terms (cached, read-only view)."""
+    global _DISCOUNT_CACHE
+    if _DISCOUNT_CACHE.size < n:
+        _DISCOUNT_CACHE = 1.0 / np.log2(np.arange(max(n, 32)) + 2.0)
+        _DISCOUNT_CACHE.flags.writeable = False
+    return _DISCOUNT_CACHE[:n]
+
+
+def hits_against(ranked: np.ndarray, relevant_items: np.ndarray) -> np.ndarray:
+    """Boolean hit flags of ``ranked`` against a *sorted* relevant-id array.
+
+    One binary search instead of a per-call set materialization; ``-1``
+    padding entries (see :func:`repro.eval.topk.top_k_items_batch`) never
+    match.  This is what the evaluator computes once per user and feeds to
+    every scalar metric via their ``hits=`` parameter.
+    """
+    ranked = np.asarray(ranked, dtype=np.int64).ravel()
+    relevant_items = np.asarray(relevant_items, dtype=np.int64).ravel()
+    if relevant_items.size == 0:
+        return np.zeros(ranked.size, dtype=bool)
+    pos = np.searchsorted(relevant_items, ranked)
+    clipped = np.minimum(pos, relevant_items.size - 1)
+    return (pos < relevant_items.size) & (relevant_items[clipped] == ranked)
+
+
+def _hits(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    hits: Optional[np.ndarray] = None,
+) -> np.ndarray:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if hits is not None:
+        return np.asarray(hits, dtype=bool).ravel()[:k]
     head = np.asarray(ranked).ravel()[:k]
     if not relevant:
         return np.zeros(head.size, dtype=bool)
@@ -33,66 +101,118 @@ def _hits(ranked: np.ndarray, relevant: Set[int], k: int) -> np.ndarray:
     return np.isin(head, relevant_arr)
 
 
-def precision_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+def _sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float sum (``cumsum`` order, not pairwise)."""
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+# ---------------------------------------------------------------------- #
+# Scalar metrics
+# ---------------------------------------------------------------------- #
+
+
+def precision_at_k(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """Fraction of the top-``k`` recommendations that are relevant.
 
     Follows the paper's convention of dividing by ``k`` even if the user
     has fewer than ``k`` relevant items.
     """
-    return float(_hits(ranked, relevant, k).sum() / k)
+    return float(_hits(ranked, relevant, k, hits).sum() / k)
 
 
-def recall_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+def recall_at_k(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """Fraction of the user's relevant items found in the top-``k``."""
     if not relevant:
         return 0.0
-    return float(_hits(ranked, relevant, k).sum() / len(relevant))
+    return float(_hits(ranked, relevant, k, hits).sum() / len(relevant))
 
 
-def ndcg_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+def ndcg_at_k(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """Normalized discounted cumulative gain with binary relevance.
 
     ``DCG = Σ_r hit_r / log2(r + 2)`` over ranks ``r = 0..k-1``;
     the ideal DCG places all (up to ``k``) relevant items first.
     """
-    hits = _hits(ranked, relevant, k)
+    hit_flags = _hits(ranked, relevant, k, hits)
     if not relevant:
         return 0.0
-    # Sum only the hit terms: when every hit sits at the top, this makes the
-    # DCG sum bitwise identical to the ideal sum (same addends, same order),
-    # so the ratio is exactly 1.0 instead of drifting an ulp above it.
-    hit_ranks = np.flatnonzero(hits)
-    dcg = float((1.0 / np.log2(hit_ranks + 2.0)).sum())
+    # Sum only the hit terms, in rank order: when every hit sits at the
+    # top, this makes the DCG sum bitwise identical to the ideal sum (same
+    # addends, same order), so the ratio is exactly 1.0 instead of
+    # drifting an ulp above it.
+    hit_ranks = np.flatnonzero(hit_flags)
+    dcg = _sequential_sum(1.0 / np.log2(hit_ranks + 2.0))
     n_ideal = min(len(relevant), k)
-    ideal = float((1.0 / np.log2(np.arange(n_ideal) + 2.0)).sum())
+    ideal = _sequential_sum(1.0 / np.log2(np.arange(n_ideal) + 2.0))
     return dcg / ideal if ideal > 0 else 0.0
 
 
-def hit_rate_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+def hit_rate_at_k(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """1 if any relevant item appears in the top-``k``, else 0."""
-    return float(bool(_hits(ranked, relevant, k).any()))
+    return float(bool(_hits(ranked, relevant, k, hits).any()))
 
 
-def average_precision_at_k(ranked: np.ndarray, relevant: Set[int], k: int) -> float:
+def average_precision_at_k(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    k: int,
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """AP@k: precision averaged at each relevant rank, over min(|rel|, k)."""
-    hits = _hits(ranked, relevant, k)
+    hit_flags = _hits(ranked, relevant, k, hits)
     if not relevant:
         return 0.0
-    if not hits.any():
+    if not hit_flags.any():
         return 0.0
-    cumulative = np.cumsum(hits)
-    ranks = np.arange(1, hits.size + 1)
-    precisions = cumulative[hits] / ranks[hits]
-    return float(precisions.sum() / min(len(relevant), k))
+    cumulative = np.cumsum(hit_flags)
+    ranks = np.arange(1, hit_flags.size + 1)
+    precisions = cumulative[hit_flags] / ranks[hit_flags]
+    return _sequential_sum(precisions) / min(len(relevant), k)
 
 
-def reciprocal_rank(ranked: np.ndarray, relevant: Set[int]) -> float:
+def reciprocal_rank(
+    ranked: np.ndarray,
+    relevant: Set[int],
+    *,
+    hits: Optional[np.ndarray] = None,
+) -> float:
     """1 / (rank of the first relevant item), 0 when none appears."""
-    ranked = np.asarray(ranked).ravel()
-    if not relevant:
-        return 0.0
-    relevant_arr = np.fromiter(relevant, dtype=np.int64)
-    positions = np.nonzero(np.isin(ranked, relevant_arr))[0]
+    if hits is None:
+        ranked = np.asarray(ranked).ravel()
+        if not relevant:
+            return 0.0
+        relevant_arr = np.fromiter(relevant, dtype=np.int64)
+        hits = np.isin(ranked, relevant_arr)
+    else:
+        hits = np.asarray(hits, dtype=bool).ravel()
+    positions = np.nonzero(hits)[0]
     if positions.size == 0:
         return 0.0
     return float(1.0 / (positions[0] + 1))
@@ -131,3 +251,214 @@ def auc(scores: np.ndarray, relevant_mask: np.ndarray, candidate_mask: np.ndarra
     rank_sum = ranks[: positives.size].sum()
     u_statistic = rank_sum - positives.size * (positives.size + 1) / 2.0
     return float(u_statistic / (positives.size * negatives.size))
+
+
+# ---------------------------------------------------------------------- #
+# Block kernels (one row per user)
+# ---------------------------------------------------------------------- #
+
+
+def _check_hits_block(hits: np.ndarray, k: int) -> np.ndarray:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    hits = np.asarray(hits, dtype=bool)
+    if hits.ndim != 2:
+        raise ValueError(f"hit matrix must be 2-D, got {hits.ndim}-D")
+    return hits
+
+
+def _hits_at_cutoff(hits: np.ndarray, k: int) -> np.ndarray:
+    """Per-row hit count within the top ``min(k, W)`` ranks, as int64."""
+    width = hits.shape[1]
+    if width == 0:
+        return np.zeros(hits.shape[0], dtype=np.int64)
+    return np.cumsum(hits, axis=1, dtype=np.int64)[:, min(k, width) - 1]
+
+
+def precision_at_k_block(hits: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`precision_at_k` from a ``(U, W)`` hit matrix."""
+    hits = _check_hits_block(hits, k)
+    return _hits_at_cutoff(hits, k) / k
+
+
+def recall_at_k_block(
+    hits: np.ndarray, n_relevant: np.ndarray, k: int
+) -> np.ndarray:
+    """Row-wise :func:`recall_at_k`; rows with no relevant items score 0."""
+    hits = _check_hits_block(hits, k)
+    n_relevant = np.asarray(n_relevant, dtype=np.int64).ravel()
+    counted = _hits_at_cutoff(hits, k)
+    return np.where(n_relevant > 0, counted / np.maximum(n_relevant, 1), 0.0)
+
+
+def ndcg_at_k_block(
+    hits: np.ndarray, n_relevant: np.ndarray, k: int
+) -> np.ndarray:
+    """Row-wise :func:`ndcg_at_k` (binary relevance)."""
+    hits = _check_hits_block(hits, k)
+    n_relevant = np.asarray(n_relevant, dtype=np.int64).ravel()
+    width = hits.shape[1]
+    if width == 0:
+        dcg = np.zeros(hits.shape[0])
+    else:
+        dcg_cum = np.cumsum(_discounts(width) * hits, axis=1)
+        dcg = dcg_cum[:, min(k, width) - 1]
+    # The ideal list is not truncated by the row's list length: a user with
+    # more relevant items than eligible slots still normalizes by the full
+    # min(|rel|, k)-term ideal, exactly like the scalar function.
+    ideal_cum = np.cumsum(_discounts(k))
+    n_ideal = np.minimum(n_relevant, k)
+    ideal = np.where(n_ideal > 0, ideal_cum[np.maximum(n_ideal, 1) - 1], 0.0)
+    return np.where(ideal > 0, dcg / np.where(ideal > 0, ideal, 1.0), 0.0)
+
+
+def hit_rate_at_k_block(hits: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`hit_rate_at_k`."""
+    hits = _check_hits_block(hits, k)
+    return (_hits_at_cutoff(hits, k) > 0).astype(np.float64)
+
+
+def average_precision_at_k_block(
+    hits: np.ndarray, n_relevant: np.ndarray, k: int
+) -> np.ndarray:
+    """Row-wise :func:`average_precision_at_k`."""
+    hits = _check_hits_block(hits, k)
+    n_relevant = np.asarray(n_relevant, dtype=np.int64).ravel()
+    width = hits.shape[1]
+    if width == 0:
+        return np.zeros(hits.shape[0])
+    cumulative = np.cumsum(hits, axis=1, dtype=np.int64)
+    ranks = np.arange(1, width + 1)
+    contributions = np.where(hits, cumulative / ranks, 0.0)
+    numerator = np.cumsum(contributions, axis=1)[:, min(k, width) - 1]
+    n_ideal = np.minimum(n_relevant, k)
+    return np.where(n_ideal > 0, numerator / np.maximum(n_ideal, 1), 0.0)
+
+
+def reciprocal_rank_block(hits: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`reciprocal_rank` over the full hit matrix width."""
+    hits = _check_hits_block(hits, 1)
+    if hits.shape[1] == 0:
+        return np.zeros(hits.shape[0])
+    first = np.argmax(hits, axis=1)
+    return np.where(hits.any(axis=1), 1.0 / (first + 1), 0.0)
+
+
+def auc_block(
+    scores: np.ndarray,
+    n_candidates: np.ndarray,
+    relevant_rows: np.ndarray,
+    relevant_cols: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`auc` for a score block.
+
+    Parameters
+    ----------
+    scores:
+        ``(U, n_items)`` block with **non-candidate** items (train
+        positives) pushed to ``+inf`` so one ascending sort per row leaves
+        every candidate in its pooled rank position.  Candidate scores must
+        be finite.  Not modified.
+    n_candidates:
+        Candidate count per row (``n_items`` minus the row's train degree).
+    relevant_rows, relevant_cols:
+        Scatter coordinates of the relevant (test-positive) items, row-major
+        with ascending columns per row — exactly the layout
+        :meth:`~repro.data.interactions.InteractionMatrix.positives_in_rows`
+        produces for the test matrix.
+
+    Ties average their ranks (Mann–Whitney), matching the scalar function
+    bitwise: average ranks are exact half-integers, and each row's positive
+    ranks are summed with the same contiguous ``np.sum`` the scalar path
+    uses.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n_rows, n_items = scores.shape
+    n_candidates = np.asarray(n_candidates, dtype=np.int64).ravel()
+    relevant_rows = np.asarray(relevant_rows, dtype=np.int64).ravel()
+    relevant_cols = np.asarray(relevant_cols, dtype=np.int64).ravel()
+
+    order = np.argsort(scores, axis=1, kind="stable")
+    sorted_scores = np.take_along_axis(scores, order, axis=1)
+    new_group = np.ones((n_rows, n_items), dtype=bool)
+    new_group[:, 1:] = sorted_scores[:, 1:] != sorted_scores[:, :-1]
+    starts = np.flatnonzero(new_group.ravel())
+    sizes = np.diff(np.append(starts, n_rows * n_items))
+    # Average rank of a tie group spanning [start, start + size) within its
+    # row: start + (size + 1) / 2 — exact half-integers, as in the scalar.
+    start_in_row = starts % n_items
+    avg_rank = np.repeat(start_in_row, sizes) + (np.repeat(sizes, sizes) + 1) / 2.0
+    ranks = np.empty((n_rows, n_items))
+    np.put_along_axis(ranks, order, avg_rank.reshape(n_rows, n_items), axis=1)
+
+    relevant_ranks = ranks[relevant_rows, relevant_cols]
+    n_positive = np.bincount(relevant_rows, minlength=n_rows).astype(np.int64)
+    bounds = np.concatenate([[0], np.cumsum(n_positive)])
+    out = np.full(n_rows, 0.5)
+    for row in range(n_rows):
+        n_pos = int(n_positive[row])
+        n_neg = int(n_candidates[row]) - n_pos
+        if n_pos == 0 or n_neg == 0:
+            continue
+        rank_sum = relevant_ranks[bounds[row] : bounds[row + 1]].sum()
+        u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+        out[row] = u_statistic / (n_pos * n_neg)
+    return out
+
+
+def ranking_metrics_block(
+    hits: np.ndarray,
+    n_relevant: np.ndarray,
+    ks: Sequence[int],
+    *,
+    extra_metrics: bool = False,
+) -> Dict[str, np.ndarray]:
+    """All hit-derived metrics for all users and all cutoffs at once.
+
+    Returns ``{"precision@k": (U,) array, ...}`` in the evaluator's
+    canonical key order (``mrr`` last; ``auc`` needs scores, not hits, and
+    is appended by the caller via :func:`auc_block`).
+
+    The shared cumulative sums (hit counts, DCG terms, AP numerators) are
+    computed once and sliced per cutoff, so the per-metric cost beyond
+    them is one ``(U,)`` arithmetic pass; values are bitwise identical to
+    the standalone ``*_block`` kernels (same operations on the same
+    arrays, just hoisted — pinned by the kernel equality tests).
+    """
+    hits = _check_hits_block(hits, min(ks) if ks else 1)
+    n_relevant = np.asarray(n_relevant, dtype=np.int64).ravel()
+    n_rows, width = hits.shape
+    if width:
+        cum_hits = np.cumsum(hits, axis=1, dtype=np.int64)
+        dcg_cum = np.cumsum(_discounts(width) * hits, axis=1)
+        if extra_metrics:
+            ranks = np.arange(1, width + 1)
+            ap_cum = np.cumsum(np.where(hits, cum_hits / ranks, 0.0), axis=1)
+    out: Dict[str, np.ndarray] = {}
+    for k in ks:
+        if width:
+            idx = min(k, width) - 1
+            counted = cum_hits[:, idx]
+            dcg = dcg_cum[:, idx]
+        else:
+            counted = np.zeros(n_rows, dtype=np.int64)
+            dcg = np.zeros(n_rows)
+        n_ideal = np.minimum(n_relevant, k)
+        ideal_cum = np.cumsum(_discounts(k))
+        ideal = np.where(n_ideal > 0, ideal_cum[np.maximum(n_ideal, 1) - 1], 0.0)
+        out[f"precision@{k}"] = counted / k
+        out[f"recall@{k}"] = np.where(
+            n_relevant > 0, counted / np.maximum(n_relevant, 1), 0.0
+        )
+        out[f"ndcg@{k}"] = np.where(
+            ideal > 0, dcg / np.where(ideal > 0, ideal, 1.0), 0.0
+        )
+        if extra_metrics:
+            out[f"hitrate@{k}"] = (counted > 0).astype(np.float64)
+            numerator = ap_cum[:, idx] if width else np.zeros(n_rows)
+            out[f"map@{k}"] = np.where(
+                n_ideal > 0, numerator / np.maximum(n_ideal, 1), 0.0
+            )
+    if extra_metrics:
+        out["mrr"] = reciprocal_rank_block(hits)
+    return out

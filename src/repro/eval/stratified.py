@@ -4,16 +4,22 @@ Negative sampling redistributes gradient across the popularity spectrum
 (see the footprint ablation), so aggregate metrics can hide *where* a
 sampler wins.  This splits test items into popularity buckets by their
 training interaction counts and reports recall@K within each bucket.
+
+Like the main protocol (:mod:`repro.eval.protocol`), the recall pass runs
+on the chunked batched pipeline: one score block, one positive-mask
+scatter, one batched top-K and one CSR hit lookup per ``chunk_users``
+users, with the bucket tallies reduced by ``np.bincount`` — the counts are
+integers, so the result is exactly the per-user loop's.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.data.dataset import ImplicitDataset
-from repro.eval.topk import top_k_items
+from repro.eval.protocol import DEFAULT_EVAL_CHUNK, _iter_ranked_chunks
 
 __all__ = ["popularity_buckets", "stratified_recall"]
 
@@ -42,6 +48,7 @@ def stratified_recall(
     *,
     quantiles: Sequence[float] = (0.5, 0.8),
     max_users: Optional[int] = None,
+    chunk_users: int = DEFAULT_EVAL_CHUNK,
 ) -> Dict[str, float]:
     """Recall@K computed separately per popularity bucket.
 
@@ -53,6 +60,8 @@ def stratified_recall(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if chunk_users < 1:
+        raise ValueError(f"chunk_users must be >= 1, got {chunk_users}")
     buckets = popularity_buckets(dataset, quantiles)
     n_buckets = len(quantiles) + 1
     names = (
@@ -66,19 +75,12 @@ def stratified_recall(
     users = dataset.evaluable_users()
     if max_users is not None:
         users = users[:max_users]
-    for user in users.tolist():
-        test_pos = dataset.test.items_of(user)
-        if test_pos.size == 0:
-            continue
-        ranked = top_k_items(
-            model.scores(user), dataset.train.items_of(user), k
-        )
-        recommended = set(ranked.tolist())
-        for item in test_pos.tolist():
-            bucket = buckets[item]
-            totals[bucket] += 1
-            if item in recommended:
-                hits[bucket] += 1
+    for chunk, _, _, _, ranked, hit_matrix in _iter_ranked_chunks(
+        model, dataset, users, k, chunk_users
+    ):
+        _, test_cols = dataset.test.positives_in_rows(chunk)
+        totals += np.bincount(buckets[test_cols], minlength=n_buckets)
+        hits += np.bincount(buckets[ranked[hit_matrix]], minlength=n_buckets)
 
     out: Dict[str, float] = {}
     for bucket, name in enumerate(names):

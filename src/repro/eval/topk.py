@@ -1,17 +1,30 @@
-"""Top-K recommendation extraction.
+"""Top-K recommendation extraction, scalar and batched.
 
 The protocol: a user's recommendation list ranks his *un-interacted* items
 by predicted score — train positives are masked out, test positives stay in
 (they are exactly what a good model should surface).
+
+Canonical ordering
+------------------
+Both the per-user and the batched extractors rank by **descending score
+with ascending item id breaking ties** — including ties that straddle the
+cut-off, where the tied items with the smallest ids win the remaining
+slots.  The rule makes the ranked list a pure function of the score
+*values* (no dependence on ``argpartition``'s implementation-defined
+ordering), which is what lets the evaluator pin its scalar and batched
+paths exactly equal per user.
+
+Only finite scores are rankable: masked items sit at ``-inf`` and models
+are expected to emit finite scores for everything else.
 """
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
-from repro.data.interactions import InteractionMatrix
-
-__all__ = ["top_k_items", "ranked_items"]
+__all__ = ["top_k_items", "top_k_items_batch", "top_k_premasked", "ranked_items"]
 
 
 def top_k_items(
@@ -30,17 +43,95 @@ def top_k_items(
     k:
         List length; truncated to the number of eligible items.
     """
+    masked = np.asarray(scores, dtype=np.float64).copy()
+    masked[np.asarray(train_positives, dtype=np.int64)] = -np.inf
+    return top_k_premasked(masked, k)
+
+
+def top_k_premasked(masked: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` over a score vector whose excluded items are already ``-inf``.
+
+    The allocation-free variant of :func:`top_k_items` for callers that
+    maintain their own masking buffer (the scalar evaluator path copies the
+    model's scores into one reused row instead of allocating per user).
+    ``masked`` is not modified.
+    """
+    ids, lengths = top_k_items_batch(masked[None, :], k)
+    return ids[0, : lengths[0]]
+
+
+def top_k_items_batch(
+    masked: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-``k`` ids for a whole ``(U, n_items)`` score block.
+
+    Parameters
+    ----------
+    masked:
+        Score block with one row per user and excluded items already set
+        to ``-inf`` (see
+        :meth:`repro.data.interactions.InteractionMatrix.positives_in_rows`
+        for the vectorized scatter).  Not modified.
+    k:
+        List length per row.
+
+    Returns
+    -------
+    ids, lengths:
+        ``ids`` has shape ``(U, min(k, n_items))``; row ``r`` holds user
+        ``r``'s recommendation list in canonical order (module docstring)
+        in ``ids[r, :lengths[r]]``, padded with ``-1`` past ``lengths[r]``
+        when the row has fewer than ``min(k, n_items)`` eligible items.
+
+    The whole block costs one ``partition`` (the per-row cut-off value),
+    two boolean passes (membership, with boundary ties resolved to the
+    smallest ids), and one ``(U, width)`` head sort — no per-row Python.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    scores = np.asarray(scores, dtype=np.float64)
-    masked = scores.copy()
-    masked[np.asarray(train_positives, dtype=np.int64)] = -np.inf
-    k_eff = min(k, int(np.isfinite(masked).sum()))
-    if k_eff == 0:
-        return np.empty(0, dtype=np.int64)
-    # argpartition for the head, then exact sort of the head only.
-    head = np.argpartition(-masked, k_eff - 1)[:k_eff]
-    return head[np.argsort(-masked[head], kind="stable")]
+    masked = np.asarray(masked, dtype=np.float64)
+    if masked.ndim != 2:
+        raise ValueError(f"score block must be 2-D, got {masked.ndim}-D")
+    n_rows, n_items = masked.shape
+    width = min(int(k), n_items)
+    if n_rows == 0 or width == 0:
+        return (
+            np.full((n_rows, width), -1, dtype=np.int64),
+            np.zeros(n_rows, dtype=np.int64),
+        )
+
+    # The width-th largest value per row bounds the head.  Everything
+    # strictly above it is in; the remaining slots go to the tied items
+    # with the smallest ids (canonical rule).  Rows with fewer than
+    # `width` eligible items get a -inf cut-off, which zeroes the tie
+    # quota so exactly the eligible (> -inf) entries are selected.
+    # One >= comparison and one (row-major, hence ascending-id-per-row)
+    # np.nonzero are the only full-block passes after the partition; the
+    # above/tie split and per-row tie ranks are small-array arithmetic on
+    # the extracted coordinates.
+    cutoff = np.partition(masked, n_items - width, axis=1)[:, n_items - width]
+    ge_rows, ge_cols = np.nonzero(masked >= cutoff[:, None])
+    is_tie = masked[ge_rows, ge_cols] == cutoff[ge_rows]
+    n_above = np.bincount(ge_rows[~is_tie], minlength=n_rows).astype(np.int64)
+    tie_counts = np.bincount(ge_rows[is_tie], minlength=n_rows).astype(np.int64)
+    quota = np.where(np.isneginf(cutoff), 0, width - n_above)
+    ties_before_row = np.concatenate([[0], np.cumsum(tie_counts)[:-1]])
+    tie_rank = (np.cumsum(is_tie) - 1) - ties_before_row[ge_rows]
+    keep = ~is_tie | (tie_rank < quota[ge_rows])
+    lengths = n_above + np.minimum(quota, tie_counts)
+    rows, cols = ge_rows[keep], ge_cols[keep]
+
+    # Members arrive per row in ascending item-id order; a stable head
+    # sort by descending score then yields the canonical ordering with
+    # -1/-inf padding pushed to the tail.
+    starts = np.concatenate([[0], np.cumsum(lengths)])
+    slot = np.arange(rows.size) - starts[:-1][rows]
+    ids = np.full((n_rows, width), -1, dtype=np.int64)
+    head_scores = np.full((n_rows, width), -np.inf)
+    ids[rows, slot] = cols
+    head_scores[rows, slot] = masked[rows, cols]
+    head_order = np.argsort(-head_scores, axis=1, kind="stable")
+    return np.take_along_axis(ids, head_order, axis=1), lengths
 
 
 def ranked_items(scores: np.ndarray, train_positives: np.ndarray) -> np.ndarray:

@@ -85,6 +85,8 @@ def run_spec(
     distribution_epochs: Sequence[int] = (),
     extra_callbacks: Sequence[Callback] = (),
     evaluate: bool = True,
+    eval_batched: bool = True,
+    eval_chunk_users: Optional[int] = None,
 ) -> RunResult:
     """Execute one training run and evaluate it.
 
@@ -102,6 +104,12 @@ def run_spec(
         Additional observers.
     evaluate:
         Skip final evaluation when only training-side artifacts are needed.
+    eval_batched:
+        Use the evaluator's vectorized chunked path (default); ``False``
+        runs the per-user scalar reference — the evaluation-side A/B knob,
+        mirroring ``TrainingConfig.batched_sampling`` on the training side.
+    eval_chunk_users:
+        Override the evaluator's users-per-score-block memory bound.
     """
     if dataset is None:
         dataset = load_dataset(spec.dataset, seed=spec.seed)
@@ -136,7 +144,10 @@ def run_spec(
 
     metrics: Dict[str, float] = {}
     if evaluate:
-        metrics = Evaluator(dataset, ks=spec.ks).evaluate(model)
+        eval_options: Dict[str, object] = {"batched": eval_batched}
+        if eval_chunk_users is not None:
+            eval_options["chunk_users"] = eval_chunk_users
+        metrics = Evaluator(dataset, ks=spec.ks, **eval_options).evaluate(model)
     return RunResult(
         spec=spec,
         metrics=metrics,

@@ -58,6 +58,11 @@ class ScoreModel(ABC):
         with one embedding matmul; this fallback stacks per-user calls so
         any third-party :class:`ScoreModel` keeps working unchanged.
 
+        Ownership contract: the returned block is **freshly allocated on
+        every call** and belongs to the caller, who may mutate it in place
+        (the evaluator masks train positives directly into it).  Overrides
+        must not hand out views of internal state.
+
         Note on determinism: matmul-based overrides may differ from
         per-user :meth:`scores` in the last ulp (BLAS gemm vs gemv
         accumulate in different orders) — callers that need bitwise
@@ -68,6 +73,28 @@ class ScoreModel(ABC):
             return np.empty((0, self.n_items), dtype=np.float64)
         return np.stack([self.scores(int(u)) for u in users])
 
+    def iter_score_blocks(
+        self,
+        users: Optional[np.ndarray] = None,
+        *,
+        chunk_size: int = DEFAULT_SCORE_CHUNK,
+    ):
+        """Stream ``(user_chunk, score_block)`` pairs over the given users.
+
+        The memory-bounded access pattern behind large-scale evaluation:
+        each yielded block is one :meth:`scores_batch` call for
+        ``chunk_size`` users, so peak footprint stays at one
+        ``chunk_size × n_items`` matrix however many users are scored.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if users is None:
+            users = np.arange(self.n_users)
+        users = np.asarray(users, dtype=np.int64).ravel()
+        for start in range(0, users.size, chunk_size):
+            chunk = users[start : start + chunk_size]
+            yield chunk, self.scores_batch(chunk)
+
     def score_matrix(
         self,
         users: Optional[np.ndarray] = None,
@@ -76,27 +103,19 @@ class ScoreModel(ABC):
     ) -> np.ndarray:
         """Dense score block for the given users (default: all users).
 
-        Chunks through :meth:`scores_batch` — ``chunk_size`` users per call
-        (default :data:`DEFAULT_SCORE_CHUNK`) — so large universes cost a
-        handful of matmuls instead of one Python-level ``scores`` call per
-        user.  Still materializes the full ``(U, n_items)`` result; callers
-        that only stream over it (the evaluator) should chunk their own
-        calls instead.
+        Chunks through :meth:`iter_score_blocks` — ``chunk_size`` users per
+        :meth:`scores_batch` call (default :data:`DEFAULT_SCORE_CHUNK`) —
+        so large universes cost a handful of matmuls instead of one
+        Python-level ``scores`` call per user.  Still materializes the full
+        ``(U, n_items)`` result; callers that only stream over it (the
+        evaluator) should iterate :meth:`iter_score_blocks` instead.
         """
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if users is None:
-            users = np.arange(self.n_users)
-        users = np.asarray(users, dtype=np.int64).ravel()
-        if users.size <= chunk_size:
-            return self.scores_batch(users)
-        return np.concatenate(
-            [
-                self.scores_batch(users[start : start + chunk_size])
-                for start in range(0, users.size, chunk_size)
-            ],
-            axis=0,
-        )
+        blocks = [block for _, block in self.iter_score_blocks(users, chunk_size=chunk_size)]
+        if len(blocks) == 1:
+            return blocks[0]
+        if not blocks:
+            return np.empty((0, self.n_items), dtype=np.float64)
+        return np.concatenate(blocks, axis=0)
 
     # ------------------------------------------------------------------ #
     # Training

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler, group_batch_by_user
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 from repro.utils.validation import check_positive
 
 __all__ = ["AOBPRSampler"]
@@ -59,6 +59,8 @@ class AOBPRSampler(NegativeSampler):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Batched AOBPR: one descending argsort for every unique user.
 
@@ -74,7 +76,8 @@ class AOBPRSampler(NegativeSampler):
             return np.empty(0, dtype=np.int64)
         if scores is None:
             raise ValueError("AOBPR requires the batch score block")
-        groups = group_batch_by_user(users)
+        if groups is None:
+            groups = group_batch_by_user(users)
         self._check_score_block(groups, scores)
         train = self.dataset.train
         block = np.array(scores, dtype=np.float64, copy=True)

@@ -1,10 +1,12 @@
 """Negative-sampler interface and shared sampling utilities.
 
-The trainer forms each mini-batch, computes the score block for the batch's
+The trainer forms each mini-batch, groups it by user **once**
+(:func:`group_batch_by_user`), computes the score block for the batch's
 unique users in one :meth:`~repro.models.base.ScoreModel.scores_batch` call
 when the sampler declares ``needs_scores``, and dispatches one
-:meth:`NegativeSampler.sample_batch` to obtain one negative per positive in
-the batch.  Per-user scoring cost stays O(candidates) per triple on top of
+:meth:`NegativeSampler.sample_batch` — handing the precomputed
+:class:`BatchGroups` along so no sampler re-derives the grouping — to
+obtain one negative per positive in the batch.  Per-user scoring cost stays O(candidates) per triple on top of
 one shared O(n_items · d) score computation per user per batch — the
 linear-time budget the paper claims for BNS — but the constant factors move
 from Python into a handful of whole-batch NumPy calls.
@@ -156,12 +158,20 @@ class NegativeSampler(ABC):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """One negative per ``(users[b], pos_items[b])`` pair, whole batch.
 
         ``scores`` — when ``needs_scores`` is true — is the score block for
         the batch's **sorted unique** users: row ``r`` is the full score
         vector of ``np.unique(users)[r]`` (see module docstring).
+
+        ``groups`` — when given — must be ``group_batch_by_user(users)``
+        for exactly this batch; the trainer precomputes it once per
+        mini-batch so the sampler does not re-derive the grouping it
+        already paid for (and the grouping is deterministic, so passing it
+        through cannot change the draws — RNG parity is untouched).
 
         This compatibility fallback groups the batch by sorted unique user
         and delegates to :meth:`sample_for_user`, which is exactly the
@@ -171,7 +181,8 @@ class NegativeSampler(ABC):
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        groups = group_batch_by_user(users)
+        if groups is None:
+            groups = group_batch_by_user(users)
         self._check_score_block(groups, scores)
         negatives = np.empty(users.size, dtype=np.int64)
         for group, user, row_idx in groups.iter_groups():

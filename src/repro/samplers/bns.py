@@ -195,6 +195,8 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Vectorized Algorithm 1 for a whole mini-batch.
 
@@ -202,16 +204,18 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         RNG-parity contract), one batched empirical-CDF construction, one
         risk argmin over all ``B × m`` candidates.  The full-candidate-set
         mode (``n_candidates=None``) has variable-width rows, so it keeps
-        the per-user fallback (which still reuses the shared score block).
+        the per-user fallback (which still reuses the shared score block
+        and the caller's grouping).
         """
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
         if scores is None:
             raise ValueError("BNS requires the batch score block")
+        if groups is None:
+            groups = group_batch_by_user(users)
         if self.n_candidates is None:
-            return super().sample_batch(users, pos_items, scores)
-        groups = group_batch_by_user(users)
+            return super().sample_batch(users, pos_items, scores, groups=groups)
         self._check_score_block(groups, scores)
         candidates = self.candidate_matrix_batch(groups, self.n_candidates)
         candidate_scores, _, unbias_values = self._posterior_for_batch(
@@ -267,6 +271,8 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Vectorized Eq. 35: one posterior argmax over all candidates."""
         users, pos_items = self._check_batch(users, pos_items)
@@ -274,9 +280,10 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
             return np.empty(0, dtype=np.int64)
         if scores is None:
             raise ValueError("PosteriorOnlySampler requires the batch score block")
+        if groups is None:
+            groups = group_batch_by_user(users)
         if self.n_candidates is None:
-            return super().sample_batch(users, pos_items, scores)
-        groups = group_batch_by_user(users)
+            return super().sample_batch(users, pos_items, scores, groups=groups)
         self._check_score_block(groups, scores)
         candidates = self.candidate_matrix_batch(groups, self.n_candidates)
         _, _, unbias_values = self._posterior_for_batch(

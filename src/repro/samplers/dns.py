@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler, group_batch_by_user
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 
 __all__ = ["DynamicNegativeSampler"]
 
@@ -52,6 +52,8 @@ class DynamicNegativeSampler(NegativeSampler):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Vectorized DNS: one candidate matrix, one argmax for the batch.
 
@@ -62,7 +64,8 @@ class DynamicNegativeSampler(NegativeSampler):
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        groups = group_batch_by_user(users)
+        if groups is None:
+            groups = group_batch_by_user(users)
         self._check_score_block(groups, scores)
         candidates = self.candidate_matrix_batch(groups, self.n_candidates)
         candidate_scores = scores[groups.rows[:, None], candidates]

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler, group_batch_by_user
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 
 __all__ = ["RandomNegativeSampler"]
 
@@ -36,6 +36,8 @@ class RandomNegativeSampler(NegativeSampler):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Batched uniform sampling.
 
@@ -47,4 +49,6 @@ class RandomNegativeSampler(NegativeSampler):
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        return self.candidate_matrix_batch(group_batch_by_user(users), 1)[:, 0]
+        if groups is None:
+            groups = group_batch_by_user(users)
+        return self.candidate_matrix_batch(groups, 1)[:, 0]

@@ -26,7 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import NegativeSampler, group_batch_by_user
+from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
 from repro.utils.validation import check_non_negative
 
 __all__ = ["SRNSSampler"]
@@ -137,6 +137,8 @@ class SRNSSampler(NegativeSampler):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
         """Batched SRNS: one value matrix and one argmax for the batch.
 
@@ -149,7 +151,8 @@ class SRNSSampler(NegativeSampler):
             return np.empty(0, dtype=np.int64)
         if scores is None:
             raise ValueError("SRNS requires the batch score block")
-        groups = group_batch_by_user(users)
+        if groups is None:
+            groups = group_batch_by_user(users)
         self._check_score_block(groups, scores)
         slot_ids = np.empty((users.size, self.n_candidates), dtype=np.int64)
         for _, _, row_idx in groups.iter_groups():

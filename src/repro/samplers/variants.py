@@ -22,7 +22,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.samplers.aobpr import AOBPRSampler
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import BatchGroups, NegativeSampler
 from repro.samplers.bns import BayesianNegativeSampler, PosteriorOnlySampler
 from repro.samplers.dns import DynamicNegativeSampler
 from repro.samplers.pns import PopularityNegativeSampler
@@ -98,8 +98,10 @@ class WarmStartSampler(NegativeSampler):
         users: np.ndarray,
         pos_items: np.ndarray,
         scores: Optional[np.ndarray] = None,
+        *,
+        groups: Optional[BatchGroups] = None,
     ) -> np.ndarray:
-        return self._active.sample_batch(users, pos_items, scores)
+        return self._active.sample_batch(users, pos_items, scores, groups=groups)
 
 
 # ---------------------------------------------------------------------- #

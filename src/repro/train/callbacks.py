@@ -121,13 +121,25 @@ class SampledTripleRecorder(Callback):
 class EvaluationCallback(Callback):
     """Periodically run an evaluation function and record its result.
 
-    ``evaluate`` is any callable ``(model) -> dict`` — typically a bound
-    :meth:`repro.eval.protocol.Evaluator.evaluate`.
+    ``evaluate`` is any callable ``(model) -> dict`` — or an
+    :class:`repro.eval.protocol.Evaluator` instance directly, whose bound
+    ``evaluate`` method is used.  Since the evaluator's default path is
+    the batched chunked pipeline, per-epoch early-stopping evaluation
+    rides the same vectorized hot path as final reporting.
     """
 
     def __init__(self, evaluate: Callable[[object], dict], every: int = 10) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        if not callable(evaluate):
+            bound = getattr(evaluate, "evaluate", None)
+            if bound is None or not callable(bound):
+                raise TypeError(
+                    "evaluate must be a callable (model) -> dict or an object "
+                    "with an evaluate(model) method, got "
+                    f"{type(evaluate).__name__}"
+                )
+            evaluate = bound
         self.evaluate = evaluate
         self.every = int(every)
         self.snapshots: List[tuple] = []

@@ -26,7 +26,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import ImplicitDataset
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, group_batch_by_user
 from repro.train.callbacks import Callback, EpochStats
 from repro.train.early_stopping import StopTraining
 from repro.train.optimizer import SGD, Optimizer
@@ -197,18 +197,25 @@ class Trainer:
     ) -> np.ndarray:
         """One negative per (user, positive) for the whole mini-batch.
 
-        Batched path: group the batch once, fetch the unique users' score
-        block in one ``scores_batch`` call, dispatch one ``sample_batch``.
-        Single-row batches (the paper's ``batch_size=1`` SGD for MF) skip
-        the batch machinery — grouping a one-row batch costs more than it
-        saves, and the draw cores are shared so the negatives are the same.
+        Batched path: group the batch **once**, fetch the unique users'
+        score block in one ``scores_batch`` call, and hand both to one
+        ``sample_batch`` dispatch — the sampler reuses the precomputed
+        :class:`~repro.samplers.base.BatchGroups` instead of re-deriving
+        the grouping (and grouping is deterministic, so the negatives are
+        unchanged).  Single-row batches (the paper's ``batch_size=1`` SGD
+        for MF) skip the batch machinery — grouping a one-row batch costs
+        more than it saves, and the draw cores are shared so the negatives
+        are the same.
         """
         if not self.config.batched_sampling or batch_users.size == 1:
             return self._sample_negatives_scalar(batch_users, batch_pos)
+        groups = group_batch_by_user(batch_users)
         scores = None
         if self.sampler.needs_scores:
-            scores = self.model.scores_batch(np.unique(batch_users))
-        return self.sampler.sample_batch(batch_users, batch_pos, scores)
+            scores = self.model.scores_batch(groups.unique_users)
+        return self.sampler.sample_batch(
+            batch_users, batch_pos, scores, groups=groups
+        )
 
     def _sample_negatives_scalar(
         self, batch_users: np.ndarray, batch_pos: np.ndarray

@@ -210,6 +210,27 @@ class TestBatchedLookups:
         empty = InteractionMatrix(3, 3, [], [])
         assert not empty.contains_pairs(np.array([0, 1]), np.array([0, 2])).any()
 
+    def test_hits_in_rows_matches_contains(self, micro_train):
+        users = np.array([2, 0, 3])
+        items = np.array([[4, 7, 0], [0, 2, 5], [7, 7, 1]])
+        expected = [
+            [micro_train.contains(int(u), int(i)) for i in row]
+            for u, row in zip(users, items)
+        ]
+        assert np.array_equal(micro_train.hits_in_rows(users, items), expected)
+
+    def test_hits_in_rows_padding_is_false(self, micro_train):
+        users = np.array([0, 2])
+        items = np.array([[0, -1, 1], [-1, -1, 4]])
+        result = micro_train.hits_in_rows(users, items)
+        assert np.array_equal(result, [[True, False, True], [False, False, True]])
+
+    def test_hits_in_rows_shape_validated(self, micro_train):
+        with pytest.raises(ValueError, match="one row per user"):
+            micro_train.hits_in_rows(np.array([0, 1]), np.array([[0, 1]]))
+        with pytest.raises(ValueError, match="one row per user"):
+            micro_train.hits_in_rows(np.array([0]), np.array([0, 1]))
+
     def test_positives_in_rows_scatter(self, micro_train):
         users = np.array([2, 0])
         rows, cols = micro_train.positives_in_rows(users)

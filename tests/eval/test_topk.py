@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.eval.topk import ranked_items, top_k_items
+from repro.eval.topk import (
+    ranked_items,
+    top_k_items,
+    top_k_items_batch,
+    top_k_premasked,
+)
 
 
 class TestTopKItems:
@@ -37,10 +42,94 @@ class TestTopKItems:
         b = top_k_items(scores, np.asarray([]), 3)
         assert np.array_equal(a, b)
 
+    def test_canonical_tie_rule_smallest_ids(self):
+        """Ties — including across the cut-off — go to the smallest ids."""
+        assert np.array_equal(top_k_items(np.zeros(6), np.asarray([]), 3), [0, 1, 2])
+        scores = np.asarray([0.5, 1.0, 0.5, 0.5, 0.2])
+        assert np.array_equal(top_k_items(scores, np.asarray([]), 3), [1, 0, 2])
+
     def test_does_not_mutate_scores(self):
         scores = np.asarray([0.3, 0.8])
         top_k_items(scores, np.asarray([1]), 1)
         assert scores[1] == 0.8
+
+
+def _masked(scores, positives):
+    masked = np.asarray(scores, dtype=np.float64).copy()
+    masked[np.asarray(positives, dtype=np.int64)] = -np.inf
+    return masked
+
+
+class TestTopKItemsBatch:
+    def test_matches_scalar_per_row(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random((12, 30))
+        positives = [rng.choice(30, size=rng.integers(0, 10), replace=False) for _ in range(12)]
+        block = np.stack([_masked(scores[r], positives[r]) for r in range(12)])
+        ids, lengths = top_k_items_batch(block, 7)
+        assert ids.shape == (12, 7)
+        for r in range(12):
+            expected = top_k_items(scores[r], positives[r], 7)
+            assert lengths[r] == expected.size
+            assert np.array_equal(ids[r, : lengths[r]], expected)
+            assert np.all(ids[r, lengths[r] :] == -1)
+
+    def test_matches_scalar_with_heavy_ties(self):
+        rng = np.random.default_rng(3)
+        scores = np.round(rng.random((10, 25)) * 3)  # 4 distinct values
+        block = np.stack([_masked(row, []) for row in scores])
+        ids, lengths = top_k_items_batch(block, 6)
+        for r in range(10):
+            assert np.array_equal(ids[r, : lengths[r]], top_k_items(scores[r], [], 6))
+
+    def test_boundary_ties_take_smallest_ids(self):
+        block = np.asarray([[1.0, 0.5, 0.5, 0.5, 0.0]])
+        ids, lengths = top_k_items_batch(block, 2)
+        assert lengths[0] == 2
+        assert np.array_equal(ids[0], [0, 1])
+
+    def test_truncation_pads_with_minus_one(self):
+        block = np.asarray(
+            [
+                [-np.inf, -np.inf, -np.inf, -np.inf],  # fully masked row
+                [0.1, -np.inf, 0.9, -np.inf],
+                [0.4, 0.3, 0.2, 0.1],
+            ]
+        )
+        ids, lengths = top_k_items_batch(block, 3)
+        assert np.array_equal(lengths, [0, 2, 3])
+        assert np.array_equal(ids[0], [-1, -1, -1])
+        assert np.array_equal(ids[1], [2, 0, -1])
+        assert np.array_equal(ids[2], [0, 1, 2])
+
+    def test_k_wider_than_universe(self):
+        block = np.asarray([[0.2, 0.9, 0.4]])
+        ids, lengths = top_k_items_batch(block, 10)
+        assert ids.shape == (1, 3)
+        assert lengths[0] == 3
+        assert np.array_equal(ids[0], [1, 2, 0])
+
+    def test_empty_block(self):
+        ids, lengths = top_k_items_batch(np.empty((0, 5)), 3)
+        assert ids.shape == (0, 3)
+        assert lengths.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_items_batch(np.ones((2, 3)), 0)
+        with pytest.raises(ValueError, match="2-D"):
+            top_k_items_batch(np.ones(3), 1)
+
+    def test_does_not_mutate_block(self):
+        block = np.asarray([[0.3, 0.8], [0.1, 0.2]])
+        copy = block.copy()
+        top_k_items_batch(block, 1)
+        assert np.array_equal(block, copy)
+
+    def test_premasked_trims_padding(self):
+        masked = _masked([0.1, 0.9, 0.5], [1])
+        out = top_k_premasked(masked, 5)
+        assert np.array_equal(out, [2, 0])
 
 
 class TestRankedItems:

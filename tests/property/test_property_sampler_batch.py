@@ -135,6 +135,32 @@ def test_full_candidate_set_parity(name, tiny_dataset):
 
 
 @pytest.mark.parametrize("name", REGISTRY)
+def test_precomputed_groups_change_nothing(name, tiny_dataset):
+    """The trainer precomputes BatchGroups once per mini-batch and threads
+    it through sample_batch; passing it must be a pure hoist — identical
+    negatives, identical RNG consumption."""
+    model = MatrixFactorization(
+        tiny_dataset.n_users, tiny_dataset.n_items, n_factors=6, seed=3
+    )
+    batch_rng = np.random.default_rng(31)
+    users, pos_items = make_mixed_batch(tiny_dataset, batch_rng, 64)
+    scores = None
+    plain = make_sampler(name)
+    grouped = make_sampler(name)
+    if plain.needs_scores:
+        scores = model.scores_batch(np.unique(users))
+    plain.bind(tiny_dataset, model, seed=13)
+    grouped.bind(tiny_dataset, model, seed=13)
+    plain.on_epoch_start(0)
+    grouped.on_epoch_start(0)
+    expected = plain.sample_batch(users, pos_items, scores)
+    actual = grouped.sample_batch(
+        users, pos_items, scores, groups=group_batch_by_user(users)
+    )
+    assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("name", REGISTRY)
 def test_batch_never_samples_train_positive(name, tiny_dataset):
     model = MatrixFactorization(
         tiny_dataset.n_users, tiny_dataset.n_items, n_factors=6, seed=3
