@@ -25,7 +25,9 @@ import pytest
 
 from repro.data.registry import load_dataset
 from repro.models.mf import MatrixFactorization
+from repro.samplers.base import ScoreRequest
 from repro.samplers.variants import make_sampler
+from repro.train.trainer import TrainingConfig
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_samplers.json"
 
@@ -97,8 +99,16 @@ def _best_seconds(fn, repeats):
     return float(min(times))
 
 
-def _measure(name, dataset, model, users, pos, repeats):
-    """Triples/sec of the per-user loop vs one sample_batch dispatch."""
+def _measure(name, dataset, model, users, pos, repeats, min_batch):
+    """Triples/sec of the per-user loop vs the trainer's batched dispatch.
+
+    The "batched" column measures the production policy, not a forced
+    ``sample_batch`` call: batches below the trainer's scalar-fallback
+    threshold (``TrainingConfig.batched_sampling_min_batch``) route
+    through the per-user path exactly as ``Trainer._sample_negatives``
+    would, which is what fixed the historical B=1 regression (0.25–0.5x)
+    this file used to record.
+    """
     scalar_sampler = make_sampler(name)
     scalar_sampler.bind(dataset, model, seed=0)
     scalar_sampler.on_epoch_start(0)
@@ -106,22 +116,24 @@ def _measure(name, dataset, model, users, pos, repeats):
     batched_sampler.bind(dataset, model, seed=0)
     batched_sampler.on_epoch_start(0)
 
-    def per_user_loop():
+    def per_user_loop_with(sampler):
         negatives = np.empty(users.size, dtype=np.int64)
+        full_block = sampler.score_request is ScoreRequest.FULL_BLOCK
         for user in np.unique(users):
             mask = users == user
-            scores = (
-                model.scores(int(user)) if scalar_sampler.needs_scores else None
-            )
-            negatives[mask] = scalar_sampler.sample_for_user(
-                int(user), pos[mask], scores
-            )
+            scores = model.scores(int(user)) if full_block else None
+            negatives[mask] = sampler.sample_for_user(int(user), pos[mask], scores)
         return negatives
 
+    def per_user_loop():
+        return per_user_loop_with(scalar_sampler)
+
     def batched():
+        if users.size < min_batch:
+            return per_user_loop_with(batched_sampler)
         scores = (
             model.scores_batch(np.unique(users))
-            if batched_sampler.needs_scores
+            if batched_sampler.score_request is ScoreRequest.FULL_BLOCK
             else None
         )
         return batched_sampler.sample_batch(users, pos, scores)
@@ -147,13 +159,14 @@ def test_batched_vs_scalar_speedup():
         dataset.n_users, dataset.n_items, n_factors=32, seed=0
     )
     batch_rng = np.random.default_rng(7)
+    min_batch = TrainingConfig().batched_sampling_min_batch
     results = {name: {} for name in COMPARED_SAMPLERS}
     for size in BATCH_SIZES:
         users, pos = _mixed_batch(dataset, batch_rng, size)
         repeats = 30 if size <= 128 else 20
         for name in COMPARED_SAMPLERS:
             results[name][str(size)] = _measure(
-                name, dataset, model, users, pos, repeats
+                name, dataset, model, users, pos, repeats, min_batch
             )
 
     # Upper bound for uniform sampling: the fully vectorized multi-user
@@ -171,6 +184,7 @@ def test_batched_vs_scalar_speedup():
         "n_users": dataset.n_users,
         "n_items": dataset.n_items,
         "batch_sizes": BATCH_SIZES,
+        "batched_sampling_min_batch": min_batch,
         "samplers": results,
         "rns_nonparity_triples_per_s_1024": round(1024 / nonparity_seconds, 1),
         "bns_1024_speedup": bns_speedup,

@@ -49,6 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--reg", type=float, default=0.01)
     train.add_argument("--factors", type=int, default=32)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--cdf",
+        default=None,
+        metavar="SPEC",
+        help="Eq. 16 CDF estimator for BNS-family samplers: 'exact' "
+        "(default), 'subsampled[:s]' or 'cached[:T]' — the latter two "
+        "train sub-linearly in the catalogue size",
+    )
+    train.add_argument(
+        "--min-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="smallest mini-batch routed through the batched sampling "
+        "pipeline (smaller batches take the scalar path); default is the "
+        "trainer's bench-tuned crossover",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper artifact"
@@ -82,6 +99,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         reg=args.reg,
         n_factors=args.factors,
         seed=args.seed,
+        cdf=args.cdf,
+        batched_sampling_min_batch=args.min_batch,
     )
     result = run_spec(spec)
     print(f"run: {spec.label()} (epochs={spec.epochs}, lr={spec.lr})")

@@ -80,6 +80,15 @@ class RunSpec:
     n_factors: int = 32
     seed: int = 0
     ks: Tuple[int, ...] = (5, 10, 20)
+    #: Eq. 16 CDF-estimator spec for BNS-family samplers — ``None`` keeps
+    #: the sampler default (exact); ``"exact"``, ``"subsampled[:s]"`` or
+    #: ``"cached[:T]"`` select an estimator (see ``repro.samplers.cdf``).
+    #: Only meaningful for samplers that accept a ``cdf`` parameter.
+    cdf: Optional[str] = None
+    #: Override for ``TrainingConfig.batched_sampling_min_batch`` (the
+    #: scalar-fallback threshold of the sampling pipeline); ``None`` keeps
+    #: the trainer default.
+    batched_sampling_min_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive(self.epochs, "epochs")
@@ -87,18 +96,40 @@ class RunSpec:
         check_positive(self.lr, "lr")
         check_non_negative(self.reg, "reg")
         check_positive(self.n_factors, "n_factors")
+        if self.batched_sampling_min_batch is not None:
+            check_positive(
+                self.batched_sampling_min_batch, "batched_sampling_min_batch"
+            )
         if self.model not in ("mf", "lightgcn"):
             raise ValueError(f"model must be 'mf' or 'lightgcn', got {self.model!r}")
 
     @property
     def sampler_options(self) -> dict:
-        """``sampler_kwargs`` as a plain dict."""
-        return dict(self.sampler_kwargs)
+        """``sampler_kwargs`` as a plain dict, with :attr:`cdf` folded in.
+
+        The explicit ``cdf`` field wins over a ``cdf`` entry in
+        ``sampler_kwargs`` so sweeps can override one spec's estimator by
+        ``replace(spec, cdf=...)`` without touching the kwargs tuple.
+        """
+        options = dict(self.sampler_kwargs)
+        if self.cdf is not None:
+            options["cdf"] = self.cdf
+        return options
 
     def with_sampler(self, sampler: str, **kwargs) -> "RunSpec":
-        """A copy of this spec with a different sampler configuration."""
+        """A copy of this spec with a different sampler configuration.
+
+        The sampler configuration is replaced *wholesale*: ``cdf`` is
+        reset along with ``sampler_kwargs`` (a CDF estimator chosen for a
+        BNS spec must not leak into the baselines of a sweep — non-BNS
+        samplers reject it).  Pass ``cdf=...`` in ``kwargs`` to give the
+        new sampler its own estimator.
+        """
         return replace(
-            self, sampler=sampler, sampler_kwargs=tuple(sorted(kwargs.items()))
+            self,
+            sampler=sampler,
+            sampler_kwargs=tuple(sorted(kwargs.items())),
+            cdf=None,
         )
 
     def label(self) -> str:

@@ -128,6 +128,9 @@ def run_spec(
         )
         callbacks.append(distributions)
 
+    config_kwargs: Dict[str, object] = {}
+    if spec.batched_sampling_min_batch is not None:
+        config_kwargs["batched_sampling_min_batch"] = spec.batched_sampling_min_batch
     config = TrainingConfig(
         epochs=spec.epochs,
         batch_size=spec.batch_size,
@@ -135,6 +138,7 @@ def run_spec(
         reg=spec.reg,
         seed=spec.seed,
         lr_schedule=lr_schedule,
+        **config_kwargs,
     )
     trainer = Trainer(
         model, dataset, sampler, config, optimizer=optimizer, callbacks=callbacks

@@ -73,6 +73,43 @@ class ScoreModel(ABC):
             return np.empty((0, self.n_items), dtype=np.float64)
         return np.stack([self.scores(int(u)) for u in users])
 
+    def score_items_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Gather-based scoring of per-user item lists, shape ``(B, m)``.
+
+        ``items`` has one row of ``m`` item ids per entry of ``users``;
+        ``out[b, j]`` is the score of ``(users[b], items[b, j])``.  This is
+        the sparse counterpart of :meth:`scores_batch` — cost is
+        ``O(B · m · d)`` regardless of ``n_items``, which is what lets
+        :class:`~repro.samplers.base.ScoreRequest.SPARSE` samplers train
+        without ever materializing a full score row.  Concrete models
+        override it with one embedding-gather ``einsum``; this fallback
+        routes through :meth:`score_pairs` so any third-party model keeps
+        working unchanged.
+        """
+        users, items = self._check_user_item_rows(users, items)
+        if items.size == 0:
+            return np.empty(items.shape, dtype=np.float64)
+        flat_users = np.repeat(users, items.shape[1])
+        return self.score_pairs(flat_users, items.ravel()).reshape(items.shape)
+
+    def _check_user_item_rows(self, users: np.ndarray, items: np.ndarray) -> tuple:
+        """Coerce/validate the ``score_items_batch`` argument contract:
+        ``users`` flat, ``items`` 2-D with one row per user, both id
+        ranges in bounds (negative ids — e.g. the ``-1`` padding other
+        APIs use — would silently gather wrong embeddings otherwise)."""
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 2 or items.shape[0] != users.size:
+            raise ValueError(
+                f"items must be 2-D with one row per user, got shape "
+                f"{items.shape} for {users.size} users"
+            )
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise IndexError(f"user ids out of range [0, {self.n_users})")
+        if items.size and (items.min() < 0 or items.max() >= self.n_items):
+            raise IndexError(f"item ids out of range [0, {self.n_items})")
+        return users, items
+
     def iter_score_blocks(
         self,
         users: Optional[np.ndarray] = None,

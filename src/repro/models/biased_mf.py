@@ -72,6 +72,14 @@ class BiasedMatrixFactorization(ScoreModel):
             raise IndexError(f"user ids out of range [0, {self.n_users})")
         return self._user_factors[users] @ self._item_factors.T + self._item_bias
 
+    def score_items_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Sparse scoring: embedding gather + einsum plus the gathered bias."""
+        users, items = self._check_user_item_rows(users, items)
+        dots = np.einsum(
+            "bf,bmf->bm", self._user_factors[users], self._item_factors[items]
+        )
+        return dots + self._item_bias[items]
+
     # ------------------------------------------------------------------ #
 
     def train_step(

@@ -118,6 +118,14 @@ class LightGCN(ScoreModel):
         propagated = self.propagate()
         return propagated[users] @ propagated[self.n_users :].T
 
+    def score_items_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Sparse scoring over the propagated embeddings, ``O(B·m·d)``."""
+        users, items = self._check_user_item_rows(users, items)
+        propagated = self.propagate()
+        return np.einsum(
+            "bf,bmf->bm", propagated[users], propagated[self.n_users + items]
+        )
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #

@@ -3,12 +3,18 @@
 All samplers implement :class:`repro.samplers.base.NegativeSampler`.  The
 hot path is batch-first: :meth:`~repro.samplers.base.NegativeSampler.
 sample_batch` takes a whole mini-batch of ``(user, positive)`` rows plus
-one score block for the batch's sorted unique users (when
-``needs_scores`` is set) and returns one negative per row in a handful of
-vectorized passes.  The per-user :meth:`~repro.samplers.base.
-NegativeSampler.sample_for_user` remains as the scalar path; both consume
-randomness identically (the RNG-parity contract in ``samplers.base``), so
-they produce bit-identical negatives for a bound seed.
+whatever score data the sampler's :class:`~repro.samplers.base.
+ScoreRequest` declares — one score block for the batch's sorted unique
+users (``FULL_BLOCK``), or nothing at all (``NONE``, and ``SPARSE``
+samplers gather-score only the item ids they touch) — and returns one
+negative per row in a handful of vectorized passes.  The per-user
+:meth:`~repro.samplers.base.NegativeSampler.sample_for_user` remains as
+the scalar path; both consume randomness identically (the RNG-parity
+contract in ``samplers.base``), so they produce bit-identical negatives
+for a bound seed.  BNS's Eq. 16 empirical CDF is pluggable
+(:mod:`repro.samplers.cdf`): exact, DKW-bounded subsampled, or
+stale-cached — the latter two make training cost sub-linear in
+``n_items``.
 
 Baselines (§IV-A2):
 
@@ -30,8 +36,20 @@ BNS-1..4   schedule/prior ablations (§IV-C2), see ``variants``
 """
 
 from repro.samplers.aobpr import AOBPRSampler
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
 from repro.samplers.bns import BayesianNegativeSampler, PosteriorOnlySampler
+from repro.samplers.cdf import (
+    CachedCDF,
+    CDFEstimator,
+    ExactCDF,
+    SubsampledCDF,
+    make_cdf,
+)
 from repro.samplers.dns import DynamicNegativeSampler
 from repro.samplers.pns import PopularityNegativeSampler
 from repro.samplers.priors import (
@@ -57,7 +75,10 @@ __all__ = [
     "AOBPRSampler",
     "BatchGroups",
     "BayesianNegativeSampler",
+    "CDFEstimator",
+    "CachedCDF",
     "DynamicNegativeSampler",
+    "ExactCDF",
     "ExposurePrior",
     "NegativeSampler",
     "OccupationPrior",
@@ -68,6 +89,8 @@ __all__ = [
     "Prior",
     "RandomNegativeSampler",
     "SRNSSampler",
+    "ScoreRequest",
+    "SubsampledCDF",
     "UniformPrior",
     "group_batch_by_user",
     "make_bns",
@@ -75,5 +98,6 @@ __all__ = [
     "make_bns_uninformative_prior",
     "make_bns_warm_lambda",
     "make_bns_warm_start",
+    "make_cdf",
     "make_sampler",
 ]

@@ -18,7 +18,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
 from repro.utils.validation import check_positive
 
 __all__ = ["AOBPRSampler"]
@@ -27,7 +32,7 @@ __all__ = ["AOBPRSampler"]
 class AOBPRSampler(NegativeSampler):
     """Rank-geometric oversampling of high-scored negatives."""
 
-    needs_scores = True
+    score_request = ScoreRequest.FULL_BLOCK
     name = "AOBPR"
 
     def __init__(self, rank_lambda: float = 30.0) -> None:

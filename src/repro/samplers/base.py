@@ -1,9 +1,11 @@
 """Negative-sampler interface and shared sampling utilities.
 
 The trainer forms each mini-batch, groups it by user **once**
-(:func:`group_batch_by_user`), computes the score block for the batch's
-unique users in one :meth:`~repro.models.base.ScoreModel.scores_batch` call
-when the sampler declares ``needs_scores``, and dispatches one
+(:func:`group_batch_by_user`), provides the score data the sampler's
+:class:`ScoreRequest` asks for — a full ``(U, n_items)`` block via
+:meth:`~repro.models.base.ScoreModel.scores_batch` for ``FULL_BLOCK``
+samplers, nothing for ``SPARSE`` samplers (which gather-score only the
+item ids they touch) — and dispatches one
 :meth:`NegativeSampler.sample_batch` — handing the precomputed
 :class:`BatchGroups` along so no sampler re-derives the grouping — to
 obtain one negative per positive in the batch.  Per-user scoring cost stays O(candidates) per triple on top of
@@ -42,8 +44,9 @@ rows for repeated users.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC, ABCMeta, abstractmethod
 from dataclasses import dataclass
+from enum import Enum
 from typing import ClassVar, Iterator, Optional, Tuple
 
 import numpy as np
@@ -51,7 +54,90 @@ import numpy as np
 from repro.data.dataset import ImplicitDataset
 from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["NegativeSampler", "BatchGroups", "group_batch_by_user"]
+__all__ = [
+    "ScoreRequest",
+    "NegativeSampler",
+    "BatchGroups",
+    "group_batch_by_user",
+]
+
+
+class ScoreRequest(Enum):
+    """What score data a sampler asks the trainer to precompute per batch.
+
+    The trainer inspects :attr:`NegativeSampler.score_request` once per
+    mini-batch and provides exactly what is requested — this is the knob
+    that decides whether training cost is linear or sub-linear in
+    ``n_items``:
+
+    ``NONE``
+        No model scores at all (RNS, PNS).  ``scores`` is ``None``.
+    ``FULL_BLOCK``
+        One full ``(U, n_items)`` score row per sorted unique batch user
+        via :meth:`~repro.models.base.ScoreModel.scores_batch` — the
+        classic O(n_items · d) per user per batch budget (DNS, AOBPR,
+        exact-CDF BNS).
+    ``SPARSE``
+        Nothing precomputed; the sampler scores only the item ids it
+        actually touches (candidates ∪ positives ∪ CDF subsample) through
+        gather-based :meth:`~repro.models.base.ScoreModel.
+        score_items_batch` calls, keeping per-triple cost independent of
+        ``n_items`` (BNS with a sub-linear CDF estimator).  ``scores`` is
+        ``None`` on the trainer path; a caller *may* still hand a full
+        block (tests, A/B harnesses) and the sampler will gather from it.
+    """
+
+    NONE = "none"
+    FULL_BLOCK = "full_block"
+    SPARSE = "sparse"
+
+
+def _derive_needs_scores(request) -> bool:
+    """The one place the legacy boolean is derived from a score request.
+
+    Non-:class:`ScoreRequest` values (a delegating property seen at class
+    level) answer conservatively ``True``.
+    """
+    if not isinstance(request, ScoreRequest):
+        return True
+    return request is not ScoreRequest.NONE
+
+
+class _NegativeSamplerMeta(ABCMeta):
+    """Metaclass exposing ``needs_scores`` as a *class-level* derived view.
+
+    ``needs_scores`` predates :class:`ScoreRequest` and is kept as the
+    boolean shorthand "does this sampler consume model scores at all";
+    tests and third-party code read it off the class, so it must stay
+    resolvable without an instance.  Samplers whose request is decided per
+    instance (delegation, estimator-dependent modes) expose a property for
+    ``score_request``; class-level access then answers conservatively
+    (``True``).
+
+    Backwards compatibility: a subclass written against the pre-protocol
+    API (``needs_scores = True`` in the class body, no ``score_request``)
+    is translated at class creation — the boolean is mapped to
+    ``FULL_BLOCK``/``NONE`` so the trainer keeps supplying exactly the
+    scores it did before the protocol existed, instead of silently
+    passing ``None``.
+    """
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        legacy = namespace.get("needs_scores")
+        if isinstance(legacy, bool):
+            # Drop the plain attribute (it would shadow the derived
+            # instance property) and honour its intent unless the class
+            # also declares the new protocol explicitly.
+            del namespace["needs_scores"]
+            namespace.setdefault(
+                "score_request",
+                ScoreRequest.FULL_BLOCK if legacy else ScoreRequest.NONE,
+            )
+        return super().__new__(mcls, name, bases, namespace, **kwargs)
+
+    @property
+    def needs_scores(cls) -> bool:
+        return _derive_needs_scores(cls.score_request)
 
 
 @dataclass(frozen=True)
@@ -101,7 +187,7 @@ def group_batch_by_user(users: np.ndarray) -> BatchGroups:
     return BatchGroups(unique_users, rows, order, boundaries)
 
 
-class NegativeSampler(ABC):
+class NegativeSampler(ABC, metaclass=_NegativeSamplerMeta):
     """Base class for all negative samplers.
 
     Lifecycle: construct → :meth:`bind` (dataset + model + rng) →
@@ -109,10 +195,28 @@ class NegativeSampler(ABC):
     (or many per-user :meth:`sample_for_user` calls on the scalar path).
     """
 
-    #: Whether the trainer must pass score vectors.
-    needs_scores: ClassVar[bool] = False
+    #: What score data the trainer must provide per batch (see
+    #: :class:`ScoreRequest`).  Class-level default; samplers whose mode is
+    #: decided at construction (BNS with a CDF estimator) shadow it with an
+    #: instance attribute, delegating samplers with a property.
+    score_request: ClassVar[ScoreRequest] = ScoreRequest.NONE
     #: Short name used in reports and experiment configs.
     name: ClassVar[str] = "base"
+
+    @property
+    def needs_scores(self) -> bool:
+        """Derived boolean view of :attr:`score_request` (kept for
+        backwards compatibility: ``True`` unless the request is ``NONE``)."""
+        return _derive_needs_scores(self.score_request)
+
+    @needs_scores.setter
+    def needs_scores(self, value: bool) -> None:
+        # Legacy instance-level assignment (pre-protocol samplers did
+        # `self.needs_scores = True` in __init__): mirror the metaclass
+        # translation onto the instance's score_request.
+        self.score_request = (
+            ScoreRequest.FULL_BLOCK if value else ScoreRequest.NONE
+        )
 
     def __init__(self) -> None:
         self._dataset: Optional[ImplicitDataset] = None
@@ -150,7 +254,8 @@ class NegativeSampler(ABC):
         """Return one negative item per entry of ``pos_items``.
 
         ``scores`` is the user's full predicted score vector when
-        ``needs_scores`` is true, else ``None``.
+        :attr:`score_request` is ``FULL_BLOCK``, else ``None`` (``SPARSE``
+        samplers score the item ids they touch themselves).
         """
 
     def sample_batch(
@@ -163,9 +268,11 @@ class NegativeSampler(ABC):
     ) -> np.ndarray:
         """One negative per ``(users[b], pos_items[b])`` pair, whole batch.
 
-        ``scores`` — when ``needs_scores`` is true — is the score block for
-        the batch's **sorted unique** users: row ``r`` is the full score
-        vector of ``np.unique(users)[r]`` (see module docstring).
+        ``scores`` — when :attr:`score_request` is ``FULL_BLOCK`` — is the
+        score block for the batch's **sorted unique** users: row ``r`` is
+        the full score vector of ``np.unique(users)[r]`` (see module
+        docstring).  ``SPARSE`` samplers accept ``None`` (self-scoring) or
+        a block to gather from.
 
         ``groups`` — when given — must be ``group_batch_by_user(users)``
         for exactly this batch; the trainer precomputes it once per
@@ -329,7 +436,7 @@ class NegativeSampler(ABC):
         self, groups: BatchGroups, scores: Optional[np.ndarray]
     ) -> None:
         if scores is None:
-            if self.needs_scores:
+            if self.score_request is ScoreRequest.FULL_BLOCK:
                 raise ValueError(
                     f"{type(self).__name__} requires a score block with one "
                     "row per sorted unique batch user"

@@ -7,16 +7,19 @@ For each training pair ``(u, i)``:
    * ``info(l) = 1 − σ(x̂_ui − x̂_ul)``            (Eq. 4, likelihood-side),
    * ``P_fn(l)``                                   (Eq. 17 prior, pluggable),
    * ``F(x̂_l)`` — empirical CDF of the candidate's score among the user's
-     un-interacted scores                          (Eq. 16),
+     un-interacted scores                          (Eq. 16, pluggable
+     estimator — see :mod:`repro.samplers.cdf`),
    * ``unbias(l)``                                 (Eq. 15, posterior);
 3. return ``argmin_l info(l)·[1 − (1+λ)·unbias(l)]``  (Eq. 32).
 
-Complexity per user per batch: one ``O(n_items log n_items)`` sort of the
-negative score vector, then ``O(m)`` per positive — the linear-time budget
-claimed in §III-D.  The batched path (:meth:`~BayesianNegativeSampler.
-sample_batch`) keeps that budget but pays it in three whole-batch NumPy
-passes — one candidate matrix, one batched CDF sort, one risk argmin —
-instead of per-user Python calls.
+Complexity per user per batch depends on the CDF estimator: the default
+:class:`~repro.samplers.cdf.ExactCDF` pays one ``O(n_items log n_items)``
+sort of the negative score vector on top of the trainer's ``O(n_items·d)``
+score block — the linear-time budget claimed in §III-D — while the
+sub-linear estimators (``SubsampledCDF``/``CachedCDF``) run the whole
+pipeline in ``ScoreRequest.SPARSE`` mode: only candidates ∪ positives ∪
+the CDF subsample are ever scored, ``O((m+s)·d + s log s)`` per triple,
+independent of the catalogue size.
 
 :class:`PosteriorOnlySampler` implements the pure posterior criterion
 ``argmax_l unbias(l)`` (Eq. 35), which Fig. 4 contrasts with the full risk
@@ -31,7 +34,13 @@ import numpy as np
 
 from repro.core.risk import conditional_sampling_risk
 from repro.core.unbiasedness import unbias
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
+from repro.samplers.cdf import CDFLike, make_cdf
 from repro.samplers.priors import PopularityPrior, Prior
 from repro.train.loss import informativeness
 from repro.train.schedule import ConstantSchedule, Schedule
@@ -42,13 +51,35 @@ __all__ = ["BayesianNegativeSampler", "PosteriorOnlySampler"]
 class _CandidatePosterior:
     """Shared machinery: candidate sets with F, prior and posterior values."""
 
-    def _setup(self, n_candidates: Optional[int], prior: Optional[Prior]) -> None:
+    def _setup(
+        self,
+        n_candidates: Optional[int],
+        prior: Optional[Prior],
+        cdf: CDFLike = None,
+    ) -> None:
         if n_candidates is not None and n_candidates < 1:
             raise ValueError(f"n_candidates must be >= 1 or None, got {n_candidates}")
         #: ``None`` means the *full* candidate set M_u = I⁻_u — the optimal
         #: sampler h* of Theorem 0.1 / Table IV.
         self.n_candidates = None if n_candidates is None else int(n_candidates)
         self.prior = prior if prior is not None else PopularityPrior()
+        self.cdf = make_cdf(cdf)
+        if (
+            self.n_candidates is None
+            and self.cdf.score_request is ScoreRequest.SPARSE
+        ):
+            # The full candidate set scores every item anyway — O(n_items)
+            # is inherent, a sparse estimator buys nothing and the gather
+            # path would cost n_pos× an exact score row.  Refuse rather
+            # than silently run slower than exact mode.
+            raise ValueError(
+                "n_candidates=None (the full candidate set) is inherently "
+                "O(n_items) and requires the exact CDF; use cdf='exact' or "
+                "a finite candidate set with a sparse estimator"
+            )
+        # Shadow the FULL_BLOCK ClassVar: the estimator decides whether the
+        # trainer materializes a score block or this sampler self-scores.
+        self.score_request = self.cdf.score_request
 
     def _candidates_for(
         self, sampler: NegativeSampler, user: int, n_pos: int
@@ -61,22 +92,20 @@ class _CandidatePosterior:
             raise ValueError(f"user {user} has no un-interacted items to sample")
         return np.broadcast_to(negatives, (n_pos, negatives.size))
 
-    def _bind_prior(self, sampler: NegativeSampler) -> None:
+    def _bind_members(self, sampler: NegativeSampler) -> None:
         self.prior.bind(sampler.dataset)
+        self.cdf.bind(sampler)
 
     def _posterior_for_candidates(
         self,
         sampler: NegativeSampler,
         user: int,
         candidates: np.ndarray,
-        scores: np.ndarray,
+        scores: Optional[np.ndarray],
     ) -> tuple:
         """Per-candidate ``(scores, F, unbias)`` for an ``(n_pos, m)`` set."""
-        negative_scores = np.sort(scores[sampler.dataset.train.negative_items(user)])
-        candidate_scores = scores[candidates]
-        cdf_values = (
-            np.searchsorted(negative_scores, candidate_scores, side="right")
-            / negative_scores.size
+        candidate_scores, cdf_values = self.cdf.cdf_for_user(
+            sampler, user, candidates, scores
         )
         prior_fn = self.prior.fn_prob(user, candidates)
         return candidate_scores, cdf_values, unbias(cdf_values, prior_fn)
@@ -86,38 +115,51 @@ class _CandidatePosterior:
         sampler: NegativeSampler,
         groups: BatchGroups,
         candidates: np.ndarray,
-        scores: np.ndarray,
+        scores: Optional[np.ndarray],
     ) -> tuple:
         """Batched ``(scores, F, unbias)`` for a ``(B, m)`` candidate set.
 
-        One batched sort builds every unique user's empirical negative-score
-        CDF (Eq. 16); one thin ``searchsorted`` per unique user ranks that
-        user's candidates in it; the prior and posterior (Eq. 15/17) are one
-        vectorized pass over the whole candidate matrix.  All elementwise,
-        so bitwise identical to :meth:`_posterior_for_candidates` per row.
+        The estimator builds every unique user's empirical CDF (Eq. 16)
+        and ranks that user's candidates in it; the prior and posterior
+        (Eq. 15/17) are one vectorized pass over the whole candidate
+        matrix.  All elementwise, so bitwise identical to
+        :meth:`_posterior_for_candidates` per row.
         """
         users = groups.unique_users[groups.rows]
-        sorted_block, neg_counts = sampler.sorted_negative_block(groups, scores)
-        candidate_scores = scores[groups.rows[:, None], candidates]
-        # Rank each user's candidates in its sorted negative prefix: the
-        # queries are laid out in grouped order once so the per-user pass
-        # is a thin `searchsorted` on two contiguous views, then a single
-        # scatter restores batch order.
-        m = candidates.shape[1]
-        queries = candidate_scores[groups.order].ravel()
-        counts_grouped = np.empty(queries.size, dtype=np.int64)
-        bounds = (groups.boundaries * m).tolist()
-        prefix_lengths = neg_counts.tolist()
-        for group in range(groups.n_groups):
-            start, stop = bounds[group], bounds[group + 1]
-            counts_grouped[start:stop] = sorted_block[
-                group, : prefix_lengths[group]
-            ].searchsorted(queries[start:stop], side="right")
-        counts = np.empty(candidates.shape, dtype=np.int64)
-        counts[groups.order] = counts_grouped.reshape(-1, m)
-        cdf_values = counts / neg_counts[groups.rows][:, None]
+        candidate_scores, cdf_values = self.cdf.cdf_for_batch(
+            sampler, groups, candidates, scores
+        )
         prior_fn = self.prior.fn_prob_batch(users, candidates)
         return candidate_scores, cdf_values, unbias(cdf_values, prior_fn)
+
+    def _positive_scores_user(
+        self,
+        sampler: NegativeSampler,
+        user: int,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """``x̂_ui`` per positive: row gather, or pair scoring in sparse mode."""
+        if scores is not None:
+            return scores[pos_items]
+        users = np.full(pos_items.size, user, dtype=np.int64)
+        return sampler.model.score_pairs(users, pos_items)
+
+    def _positive_scores_batch(
+        self,
+        sampler: NegativeSampler,
+        groups: BatchGroups,
+        pos_items: np.ndarray,
+        scores: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if scores is not None:
+            return scores[groups.rows, pos_items]
+        users = groups.unique_users[groups.rows]
+        return sampler.model.score_pairs(users, pos_items)
+
+    def _require_scores(self, scores: Optional[np.ndarray], what: str) -> None:
+        if scores is None and self.score_request is ScoreRequest.FULL_BLOCK:
+            raise ValueError(f"{type(self).__name__} requires {what}")
 
 
 class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
@@ -134,9 +176,14 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
     prior:
         A :class:`~repro.samplers.priors.Prior`; default is the paper's
         popularity prior (Eq. 17).
+    cdf:
+        Empirical-CDF estimator for Eq. 16 — ``None``/``"exact"`` for the
+        reference behaviour, ``"subsampled[:s]"`` or ``"cached[:T]"`` (or
+        a :class:`~repro.samplers.cdf.CDFEstimator` instance) for the
+        sub-linear sparse-scoring modes.
     """
 
-    needs_scores = True
+    score_request = ScoreRequest.FULL_BLOCK
     name = "BNS"
 
     def __init__(
@@ -144,9 +191,10 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         n_candidates: Optional[int] = 5,
         weight: Union[float, Schedule] = 5.0,
         prior: Optional[Prior] = None,
+        cdf: CDFLike = None,
     ) -> None:
         super().__init__()
-        self._setup(n_candidates, prior)
+        self._setup(n_candidates, prior, cdf)
         if isinstance(weight, Schedule):
             self.weight_schedule: Schedule = weight
         else:
@@ -158,10 +206,11 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
     # ------------------------------------------------------------------ #
 
     def _on_bind(self) -> None:
-        self._bind_prior(self)
+        self._bind_members(self)
 
     def on_epoch_start(self, epoch: int) -> None:
         self._current_weight = self.weight_schedule.value(epoch)
+        self.cdf.on_epoch_start(epoch)
 
     @property
     def current_weight(self) -> float:
@@ -179,13 +228,14 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         pos_items = np.asarray(pos_items, dtype=np.int64).ravel()
         if pos_items.size == 0:
             return np.empty(0, dtype=np.int64)
-        if scores is None:
-            raise ValueError("BNS requires the user's score vector")
+        self._require_scores(scores, "the user's score vector")
+        self.cdf.advance()
         candidates = self._candidates_for(self, user, pos_items.size)
         candidate_scores, _, unbias_values = self._posterior_for_candidates(
             self, user, candidates, scores
         )
-        info = informativeness(scores[pos_items][:, None], candidate_scores)
+        pos_scores = self._positive_scores_user(self, user, pos_items, scores)
+        info = informativeness(pos_scores[:, None], candidate_scores)
         risk = conditional_sampling_risk(info, unbias_values, self._current_weight)
         best = np.argmin(risk, axis=1)
         return candidates[np.arange(pos_items.size), best]
@@ -201,7 +251,7 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         """Vectorized Algorithm 1 for a whole mini-batch.
 
         One candidate matrix (draws grouped per sorted unique user — the
-        RNG-parity contract), one batched empirical-CDF construction, one
+        RNG-parity contract), one batched empirical-CDF estimate, one
         risk argmin over all ``B × m`` candidates.  The full-candidate-set
         mode (``n_candidates=None``) has variable-width rows, so it keeps
         the per-user fallback (which still reuses the shared score block
@@ -210,18 +260,18 @@ class BayesianNegativeSampler(NegativeSampler, _CandidatePosterior):
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        if scores is None:
-            raise ValueError("BNS requires the batch score block")
+        self._require_scores(scores, "the batch score block")
         if groups is None:
             groups = group_batch_by_user(users)
         if self.n_candidates is None:
             return super().sample_batch(users, pos_items, scores, groups=groups)
         self._check_score_block(groups, scores)
+        self.cdf.advance()
         candidates = self.candidate_matrix_batch(groups, self.n_candidates)
         candidate_scores, _, unbias_values = self._posterior_for_batch(
             self, groups, candidates, scores
         )
-        pos_scores = scores[groups.rows, pos_items]
+        pos_scores = self._positive_scores_batch(self, groups, pos_items, scores)
         info = informativeness(pos_scores[:, None], candidate_scores)
         risk = conditional_sampling_risk(info, unbias_values, self._current_weight)
         best = np.argmin(risk, axis=1)
@@ -233,20 +283,27 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
 
     Selects the most-likely-true negative regardless of informativeness;
     used by the sampling-quality study (Fig. 4) to isolate the posterior's
-    classification power.
+    classification power.  Accepts the same ``cdf=`` estimators as
+    :class:`BayesianNegativeSampler`.
     """
 
-    needs_scores = True
+    score_request = ScoreRequest.FULL_BLOCK
     name = "BNS-posterior"
 
     def __init__(
-        self, n_candidates: Optional[int] = 5, prior: Optional[Prior] = None
+        self,
+        n_candidates: Optional[int] = 5,
+        prior: Optional[Prior] = None,
+        cdf: CDFLike = None,
     ) -> None:
         super().__init__()
-        self._setup(n_candidates, prior)
+        self._setup(n_candidates, prior, cdf)
 
     def _on_bind(self) -> None:
-        self._bind_prior(self)
+        self._bind_members(self)
+
+    def on_epoch_start(self, epoch: int) -> None:
+        self.cdf.on_epoch_start(epoch)
 
     def sample_for_user(
         self,
@@ -257,8 +314,8 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
         pos_items = np.asarray(pos_items, dtype=np.int64).ravel()
         if pos_items.size == 0:
             return np.empty(0, dtype=np.int64)
-        if scores is None:
-            raise ValueError("PosteriorOnlySampler requires the user's score vector")
+        self._require_scores(scores, "the user's score vector")
+        self.cdf.advance()
         candidates = self._candidates_for(self, user, pos_items.size)
         _, _, unbias_values = self._posterior_for_candidates(
             self, user, candidates, scores
@@ -278,13 +335,13 @@ class PosteriorOnlySampler(NegativeSampler, _CandidatePosterior):
         users, pos_items = self._check_batch(users, pos_items)
         if users.size == 0:
             return np.empty(0, dtype=np.int64)
-        if scores is None:
-            raise ValueError("PosteriorOnlySampler requires the batch score block")
+        self._require_scores(scores, "the batch score block")
         if groups is None:
             groups = group_batch_by_user(users)
         if self.n_candidates is None:
             return super().sample_batch(users, pos_items, scores, groups=groups)
         self._check_score_block(groups, scores)
+        self.cdf.advance()
         candidates = self.candidate_matrix_batch(groups, self.n_candidates)
         _, _, unbias_values = self._posterior_for_batch(
             self, groups, candidates, scores

@@ -15,7 +15,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
 
 __all__ = ["DynamicNegativeSampler"]
 
@@ -23,7 +28,7 @@ __all__ = ["DynamicNegativeSampler"]
 class DynamicNegativeSampler(NegativeSampler):
     """Max-score among ``n_candidates`` uniform negatives."""
 
-    needs_scores = True
+    score_request = ScoreRequest.FULL_BLOCK
     name = "DNS"
 
     def __init__(self, n_candidates: int = 5) -> None:

@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.data.popularity import popularity_distribution
-from repro.samplers.base import NegativeSampler
+from repro.samplers.base import NegativeSampler, ScoreRequest
 from repro.utils.validation import check_non_negative
 
 __all__ = ["PopularityNegativeSampler"]
@@ -31,7 +31,7 @@ __all__ = ["PopularityNegativeSampler"]
 class PopularityNegativeSampler(NegativeSampler):
     """Static sampling with ``p(j) ∝ pop_j^exponent`` (default 0.75)."""
 
-    needs_scores = False
+    score_request = ScoreRequest.NONE
     name = "PNS"
 
     def __init__(self, exponent: float = 0.75) -> None:

@@ -12,7 +12,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
 
 __all__ = ["RandomNegativeSampler"]
 
@@ -20,7 +25,7 @@ __all__ = ["RandomNegativeSampler"]
 class RandomNegativeSampler(NegativeSampler):
     """Uniform sampling over :math:`I^-_u`."""
 
-    needs_scores = False
+    score_request = ScoreRequest.NONE
     name = "RNS"
 
     def sample_for_user(

@@ -26,7 +26,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.samplers.base import BatchGroups, NegativeSampler, group_batch_by_user
+from repro.samplers.base import (
+    BatchGroups,
+    NegativeSampler,
+    ScoreRequest,
+    group_batch_by_user,
+)
 from repro.utils.validation import check_non_negative
 
 __all__ = ["SRNSSampler"]
@@ -50,7 +55,7 @@ class SRNSSampler(NegativeSampler):
         negatives at every epoch start.
     """
 
-    needs_scores = True
+    score_request = ScoreRequest.FULL_BLOCK
     name = "SRNS"
 
     def __init__(

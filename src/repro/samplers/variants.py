@@ -22,8 +22,9 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.samplers.aobpr import AOBPRSampler
-from repro.samplers.base import BatchGroups, NegativeSampler
+from repro.samplers.base import BatchGroups, NegativeSampler, ScoreRequest
 from repro.samplers.bns import BayesianNegativeSampler, PosteriorOnlySampler
+from repro.samplers.cdf import CDFLike
 from repro.samplers.dns import DynamicNegativeSampler
 from repro.samplers.pns import PopularityNegativeSampler
 from repro.samplers.priors import OccupationPrior, OraclePrior, Prior, UniformPrior
@@ -52,8 +53,14 @@ class WarmStartSampler(NegativeSampler):
     starts consuming it.
     """
 
-    needs_scores = True  # conservative: the main sampler needs them
     name = "BNS-2"
+
+    @property
+    def score_request(self) -> ScoreRequest:
+        """Delegated per epoch: warm-up epochs ask only for what the
+        warm-up sampler needs (RNS → ``NONE``, skipping the score block
+        entirely), later epochs follow the main sampler."""
+        return self._active.score_request
 
     def __init__(
         self,
@@ -110,10 +117,15 @@ class WarmStartSampler(NegativeSampler):
 
 
 def make_bns(
-    n_candidates: int = 5, weight: float = 5.0, prior: Optional[Prior] = None
+    n_candidates: int = 5,
+    weight: float = 5.0,
+    prior: Optional[Prior] = None,
+    cdf: CDFLike = None,
 ) -> BayesianNegativeSampler:
     """Standard BNS: popularity prior, fixed λ (paper defaults)."""
-    return BayesianNegativeSampler(n_candidates=n_candidates, weight=weight, prior=prior)
+    return BayesianNegativeSampler(
+        n_candidates=n_candidates, weight=weight, prior=prior, cdf=cdf
+    )
 
 
 def make_bns_warm_lambda(
@@ -121,11 +133,13 @@ def make_bns_warm_lambda(
     start: float = 10.0,
     alpha: float = 0.1,
     floor: float = 2.0,
+    cdf: CDFLike = None,
 ) -> BayesianNegativeSampler:
     """BNS-1: λ warm start ``max(start − alpha·epoch, floor)``."""
     sampler = BayesianNegativeSampler(
         n_candidates=n_candidates,
         weight=WarmStartLambda(start=start, alpha=alpha, floor=floor),
+        cdf=cdf,
     )
     sampler.name = "BNS-1"
     return sampler
@@ -135,43 +149,44 @@ def make_bns_warm_start(
     n_candidates: int = 5,
     weight: float = 5.0,
     warmup_epochs: int = 10,
+    cdf: CDFLike = None,
 ) -> WarmStartSampler:
     """BNS-2: RNS for ``warmup_epochs``, then standard BNS."""
     return WarmStartSampler(
         warmup_sampler=RandomNegativeSampler(),
-        main_sampler=make_bns(n_candidates=n_candidates, weight=weight),
+        main_sampler=make_bns(n_candidates=n_candidates, weight=weight, cdf=cdf),
         warmup_epochs=warmup_epochs,
     )
 
 
 def make_bns_uninformative_prior(
-    n_candidates: int = 5, weight: float = 5.0
+    n_candidates: int = 5, weight: float = 5.0, cdf: CDFLike = None
 ) -> BayesianNegativeSampler:
     """BNS-3: non-informative prior ``P_fn(l) = 1/n_items``."""
     sampler = BayesianNegativeSampler(
-        n_candidates=n_candidates, weight=weight, prior=UniformPrior()
+        n_candidates=n_candidates, weight=weight, prior=UniformPrior(), cdf=cdf
     )
     sampler.name = "BNS-3"
     return sampler
 
 
 def make_bns_occupation_prior(
-    n_candidates: int = 5, weight: float = 5.0
+    n_candidates: int = 5, weight: float = 5.0, cdf: CDFLike = None
 ) -> BayesianNegativeSampler:
     """BNS-4: occupation-enhanced prior (requires occupation metadata)."""
     sampler = BayesianNegativeSampler(
-        n_candidates=n_candidates, weight=weight, prior=OccupationPrior()
+        n_candidates=n_candidates, weight=weight, prior=OccupationPrior(), cdf=cdf
     )
     sampler.name = "BNS-4"
     return sampler
 
 
 def make_bns_oracle(
-    n_candidates: int = 5, weight: float = 5.0
+    n_candidates: int = 5, weight: float = 5.0, cdf: CDFLike = None
 ) -> BayesianNegativeSampler:
     """Table IV's sampler: BNS with the ideal (label-leaking) prior."""
     sampler = BayesianNegativeSampler(
-        n_candidates=n_candidates, weight=weight, prior=OraclePrior()
+        n_candidates=n_candidates, weight=weight, prior=OraclePrior(), cdf=cdf
     )
     sampler.name = "BNS-oracle"
     return sampler
@@ -200,4 +215,13 @@ def make_sampler(name: str, **kwargs) -> NegativeSampler:
         raise KeyError(
             f"unknown sampler {name!r}; available: {', '.join(sorted(_FACTORIES))}"
         )
-    return _FACTORIES[key](**kwargs)
+    try:
+        return _FACTORIES[key](**kwargs)
+    except TypeError as error:
+        if "cdf" in kwargs and "unexpected keyword argument 'cdf'" in str(error):
+            raise ValueError(
+                f"sampler {name!r} does not take a CDF estimator (cdf=); "
+                "only the BNS family (bns, bns-posterior, bns-1..4, "
+                "bns-oracle) estimates the Eq. 16 empirical CDF"
+            ) from error
+        raise

@@ -1,9 +1,10 @@
 """The pairwise training loop (outer loop of the paper's Algorithm 1).
 
-Each epoch shuffles the training pairs, forms mini-batches, fetches the
-score block of each batch's unique users in one
-:meth:`~repro.models.base.ScoreModel.scores_batch` call when the sampler
-needs scores, dispatches one
+Each epoch shuffles the training pairs, forms mini-batches, provides the
+score data each batch's sampler requests (one
+:meth:`~repro.models.base.ScoreModel.scores_batch` block for
+``FULL_BLOCK`` samplers; nothing for ``SPARSE``/``NONE`` — see
+:class:`~repro.samplers.base.ScoreRequest`), dispatches one
 :meth:`~repro.samplers.base.NegativeSampler.sample_batch` to pick one
 negative per positive, and takes a BPR step.  ``batch_size=1`` reproduces
 the paper's per-triple SGD for MF; larger batches vectorize the same
@@ -26,7 +27,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import ImplicitDataset
-from repro.samplers.base import NegativeSampler, group_batch_by_user
+from repro.samplers.base import NegativeSampler, ScoreRequest, group_batch_by_user
 from repro.train.callbacks import Callback, EpochStats
 from repro.train.early_stopping import StopTraining
 from repro.train.optimizer import SGD, Optimizer
@@ -59,12 +60,26 @@ class TrainingConfig:
     #: ``sample_batch`` per mini-batch).  ``False`` restores the legacy
     #: per-user scalar path.
     batched_sampling: bool = True
+    #: Smallest mini-batch routed through the batched pipeline; smaller
+    #: batches (including every batch of the paper's ``batch_size=1`` SGD,
+    #: and an epoch's final ragged batch) take the scalar path, whose
+    #: per-call overhead is lower.  The default of 2 reproduces the
+    #: pre-threshold routing exactly (scalar only for single-row batches),
+    #: keeping default-config runs bitwise-identical across the refactor
+    #: — rerouting a batch flips its scores from gemm to gemv, a last-ulp
+    #: change that can flip a risk argmin.  The measured BNS crossover is
+    #: ≈3 (batched/scalar ≈ 0.85× at B=2, 1.2× at B=3, 1.5× at B=4 — see
+    #: ``BENCH_samplers.json``), so set 3–4 when ragged small batches
+    #: dominate and bitwise continuity does not matter; SRNS/AOBPR
+    #: amortize later still (≈ B=12).
+    batched_sampling_min_batch: int = 2
 
     def __post_init__(self) -> None:
         check_positive(self.epochs, "epochs")
         check_positive(self.batch_size, "batch_size")
         check_positive(self.lr, "lr")
         check_non_negative(self.reg, "reg")
+        check_positive(self.batched_sampling_min_batch, "batched_sampling_min_batch")
 
     def resolve_lr_schedule(self) -> Schedule:
         """The LR schedule (constant at ``lr`` unless one was given)."""
@@ -164,7 +179,6 @@ class Trainer:
 
         neg_out = np.empty(n, dtype=np.int64)
         info_out = np.empty(n, dtype=np.float64)
-        loss_sum = 0.0
 
         for start in range(0, n, batch_size):
             batch_idx = order[start : start + batch_size]
@@ -176,8 +190,11 @@ class Trainer:
             )
             neg_out[start : start + batch_idx.size] = batch_neg
             info_out[start : start + batch_idx.size] = info
-            # loss = −ln σ(diff) = −ln(1 − info); clip keeps info→1 finite.
-            loss_sum += float(-np.log(np.clip(1.0 - info, 1e-12, None)).sum())
+
+        # loss = −ln σ(diff) = −ln(1 − info); clip keeps info→1 finite.
+        # One vectorized pass over the epoch's recorded info values instead
+        # of a log + clip + sum allocation inside every mini-batch.
+        mean_loss = float(np.mean(-np.log(np.clip(1.0 - info_out, 1e-12, None))))
 
         # Reorder the recorded triples back to epoch execution order
         # (they are already in execution order; users/pos follow `order`).
@@ -187,7 +204,7 @@ class Trainer:
             pos_items=pos_all[order],
             neg_items=neg_out,
             info=info_out,
-            mean_loss=loss_sum / n,
+            mean_loss=mean_loss,
             lr=self.optimizer.lr,
             duration_seconds=time.perf_counter() - started,
         )
@@ -197,21 +214,29 @@ class Trainer:
     ) -> np.ndarray:
         """One negative per (user, positive) for the whole mini-batch.
 
-        Batched path: group the batch **once**, fetch the unique users'
-        score block in one ``scores_batch`` call, and hand both to one
-        ``sample_batch`` dispatch — the sampler reuses the precomputed
-        :class:`~repro.samplers.base.BatchGroups` instead of re-deriving
-        the grouping (and grouping is deterministic, so the negatives are
-        unchanged).  Single-row batches (the paper's ``batch_size=1`` SGD
-        for MF) skip the batch machinery — grouping a one-row batch costs
-        more than it saves, and the draw cores are shared so the negatives
-        are the same.
+        Batched path: group the batch **once**, provide the score data the
+        sampler's :class:`~repro.samplers.base.ScoreRequest` asks for —
+        the unique users' score block in one ``scores_batch`` call for
+        ``FULL_BLOCK`` samplers, nothing for ``SPARSE``/``NONE`` samplers
+        (sparse samplers gather-score only the item ids they touch) — and
+        hand both to one ``sample_batch`` dispatch; the sampler reuses the
+        precomputed :class:`~repro.samplers.base.BatchGroups` instead of
+        re-deriving the grouping (and grouping is deterministic, so the
+        negatives are unchanged).  Batches smaller than
+        ``config.batched_sampling_min_batch`` (notably the paper's
+        ``batch_size=1`` SGD for MF and an epoch's ragged final batch)
+        skip the batch machinery — below the measured crossover, grouping
+        costs more than it saves, and the draw cores are shared so the
+        negatives are statistically the same.
         """
-        if not self.config.batched_sampling or batch_users.size == 1:
+        if (
+            not self.config.batched_sampling
+            or batch_users.size < self.config.batched_sampling_min_batch
+        ):
             return self._sample_negatives_scalar(batch_users, batch_pos)
         groups = group_batch_by_user(batch_users)
         scores = None
-        if self.sampler.needs_scores:
+        if self.sampler.score_request is ScoreRequest.FULL_BLOCK:
             scores = self.model.scores_batch(groups.unique_users)
         return self.sampler.sample_batch(
             batch_users, batch_pos, scores, groups=groups
@@ -221,18 +246,17 @@ class Trainer:
         self, batch_users: np.ndarray, batch_pos: np.ndarray
     ) -> np.ndarray:
         """Legacy per-user path: group by user, score and sample per group."""
+        full_block = self.sampler.score_request is ScoreRequest.FULL_BLOCK
         negatives = np.empty(batch_users.size, dtype=np.int64)
         if batch_users.size == 1:
             user = int(batch_users[0])
-            scores = self.model.scores(user) if self.sampler.needs_scores else None
+            scores = self.model.scores(user) if full_block else None
             negatives[0] = self.sampler.sample_for_user(user, batch_pos, scores)[0]
             return negatives
         unique_users = np.unique(batch_users)
         for user in unique_users:
             mask = batch_users == user
-            scores = (
-                self.model.scores(int(user)) if self.sampler.needs_scores else None
-            )
+            scores = self.model.scores(int(user)) if full_block else None
             negatives[mask] = self.sampler.sample_for_user(
                 int(user), batch_pos[mask], scores
             )

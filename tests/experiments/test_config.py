@@ -52,3 +52,32 @@ class TestRunSpec:
 
     def test_hashable_for_sweeps(self):
         assert len({RunSpec(), RunSpec(), RunSpec(seed=1)}) == 2
+
+
+class TestSublinearKnobs:
+    def test_cdf_folds_into_sampler_options(self):
+        spec = RunSpec(cdf="subsampled:128")
+        assert spec.sampler_options == {"cdf": "subsampled:128"}
+        # The explicit field wins over a kwargs entry.
+        spec = RunSpec(sampler_kwargs=(("cdf", "exact"),), cdf="cached:5")
+        assert spec.sampler_options["cdf"] == "cached:5"
+
+    def test_min_batch_validated(self):
+        assert RunSpec(batched_sampling_min_batch=8).batched_sampling_min_batch == 8
+        with pytest.raises(ValueError):
+            RunSpec(batched_sampling_min_batch=0)
+
+    def test_defaults_leave_options_untouched(self):
+        assert RunSpec().sampler_options == {}
+        assert RunSpec().cdf is None
+        assert RunSpec().batched_sampling_min_batch is None
+
+    def test_with_sampler_resets_cdf(self):
+        """Sweeping a BNS spec against baselines must not leak the BNS
+        estimator into samplers that reject it."""
+        spec = RunSpec(sampler="bns", cdf="subsampled:64")
+        swapped = spec.with_sampler("rns")
+        assert swapped.cdf is None
+        assert swapped.sampler_options == {}
+        rebound = spec.with_sampler("bns-posterior", cdf="cached:5")
+        assert rebound.sampler_options == {"cdf": "cached:5"}

@@ -71,15 +71,18 @@ def run_both_paths(name, dataset, seed, epoch, batch_size):
     )
     batch_rng = np.random.default_rng(1000 + seed)
     users, pos_items = make_mixed_batch(dataset, batch_rng, batch_size)
-    scores = None
     scalar_sampler = make_sampler(name)
     batch_sampler = make_sampler(name)
-    if scalar_sampler.needs_scores:
-        scores = model.scores_batch(np.unique(users))
     scalar_sampler.bind(dataset, model, seed=seed)
     batch_sampler.bind(dataset, model, seed=seed)
     scalar_sampler.on_epoch_start(epoch)
     batch_sampler.on_epoch_start(epoch)
+    # Query needs_scores after on_epoch_start: delegating samplers (BNS-2)
+    # only settle their score request once the epoch's active sampler is
+    # known.
+    scores = None
+    if scalar_sampler.needs_scores:
+        scores = model.scores_batch(np.unique(users))
     expected = scalar_reference(scalar_sampler, users, pos_items, scores)
     actual = batch_sampler.sample_batch(users, pos_items, scores)
     return users, expected, actual

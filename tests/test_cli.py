@@ -49,3 +49,37 @@ class TestCommands:
     def test_experiment_unit_scale(self, capsys):
         assert main(["experiment", "table1", "--scale", "unit"]) == 0
         assert "Table I" in capsys.readouterr().out
+
+
+class TestSublinearFlags:
+    def test_cdf_and_min_batch_parsed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["train", "--cdf", "subsampled:64", "--min-batch", "8"]
+        )
+        assert args.cdf == "subsampled:64"
+        assert args.min_batch == 8
+
+    def test_train_with_sparse_cdf_runs(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "tiny",
+                "--sampler",
+                "bns",
+                "--cdf",
+                "subsampled:32",
+                "--min-batch",
+                "2",
+                "--epochs",
+                "2",
+                "--batch-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "ndcg" in capsys.readouterr().out

@@ -217,3 +217,140 @@ class TestBatchedSampling:
         for stats in trainer.fit():
             for user, item in zip(stats.users, stats.neg_items):
                 assert not micro_dataset.train.contains(int(user), int(item))
+
+
+class TestScalarFallbackThreshold:
+    """The configurable small-batch crossover (batched_sampling_min_batch)."""
+
+    def test_default_and_validation(self):
+        # Default 2 == the pre-threshold routing (scalar only at size 1),
+        # keeping default-config runs bitwise-identical across the
+        # refactor; the measured crossover (~3 for BNS) is documentation
+        # for tuning, not the default.
+        assert TrainingConfig().batched_sampling_min_batch == 2
+        with pytest.raises(ValueError):
+            TrainingConfig(batched_sampling_min_batch=0)
+
+    def test_small_batches_route_scalar(self, micro_dataset, monkeypatch):
+        """Batches below the threshold must never touch sample_batch."""
+        trainer = make_trainer(
+            micro_dataset,
+            epochs=1,
+            batch_size=2,
+            sampler=DynamicNegativeSampler(n_candidates=3),
+            batched_sampling_min_batch=3,
+        )
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("sample_batch called below the threshold")
+
+        monkeypatch.setattr(trainer.sampler, "sample_batch", forbidden)
+        trainer.fit()
+
+    def test_large_batches_route_batched(self, micro_dataset, monkeypatch):
+        trainer = make_trainer(
+            micro_dataset,
+            epochs=1,
+            batch_size=4,
+            sampler=DynamicNegativeSampler(n_candidates=3),
+            batched_sampling_min_batch=3,
+        )
+        calls = []
+        original = trainer.sampler.sample_batch
+
+        def spy(users, *args, **kwargs):
+            calls.append(np.asarray(users).size)
+            return original(users, *args, **kwargs)
+
+        monkeypatch.setattr(trainer.sampler, "sample_batch", spy)
+        trainer.fit()
+        # micro: 9 pairs at batch 4 → batches of 4, 4, 1; only the ragged
+        # final batch (1 < 3) falls back to the scalar path.
+        assert calls == [4, 4]
+
+    def test_threshold_one_forces_batched_everywhere(self, micro_dataset):
+        """min_batch=1 pushes even single-row batches through sample_batch
+        — the negatives stay valid and the run completes."""
+        trainer = make_trainer(
+            micro_dataset,
+            epochs=2,
+            batch_size=1,
+            sampler=DynamicNegativeSampler(n_candidates=3),
+            batched_sampling_min_batch=1,
+        )
+        for stats in trainer.fit():
+            for user, item in zip(stats.users, stats.neg_items):
+                assert not micro_dataset.train.contains(int(user), int(item))
+
+
+class TestEpochLossAccumulation:
+    def test_mean_loss_matches_per_batch_reference(self, micro_dataset):
+        """The hoisted one-pass mean equals the old per-batch log-sum."""
+        trainer = make_trainer(micro_dataset, epochs=2, batch_size=4)
+        for stats in trainer.fit():
+            reference = float(
+                -np.log(np.clip(1.0 - stats.info, 1e-12, None)).mean()
+            )
+            assert stats.mean_loss == pytest.approx(reference, rel=1e-12)
+
+
+class TestSparseSamplingPipeline:
+    """End-to-end training with SPARSE score requests (no score blocks)."""
+
+    @pytest.mark.parametrize("cdf_spec", ["subsampled:32", "cached:50"])
+    def test_trains_without_score_blocks(self, micro_dataset, cdf_spec, monkeypatch):
+        from repro.samplers.variants import make_sampler
+
+        trainer = make_trainer(
+            micro_dataset,
+            epochs=2,
+            batch_size=4,
+            sampler=make_sampler("bns", cdf=cdf_spec),
+        )
+
+        if cdf_spec.startswith("subsampled"):
+            # Subsampled mode never forms a full score row or block.
+            def forbidden(*args, **kwargs):
+                raise AssertionError(
+                    "sparse mode must not materialize score blocks"
+                )
+
+            monkeypatch.setattr(trainer.model, "scores_batch", forbidden)
+            monkeypatch.setattr(trainer.model, "scores", forbidden)
+        else:
+            # Cached mode is *allowed* amortized refreshes (one block over
+            # the stale users per window), but must not pay one per
+            # dispatch like a FULL_BLOCK sampler would.
+            calls = []
+            original = trainer.model.scores_batch
+
+            def counting(users, *args, **kwargs):
+                calls.append(np.asarray(users).size)
+                return original(users, *args, **kwargs)
+
+            monkeypatch.setattr(trainer.model, "scores_batch", counting)
+        history = trainer.fit()
+        if not cdf_spec.startswith("subsampled"):
+            # With a window wider than the run, block refreshes happen
+            # only when a batch introduces never-seen users — far fewer
+            # than the 4 batched dispatches a FULL_BLOCK sampler pays
+            # (one scores_batch each, every batch).
+            assert 1 <= len(calls) <= 2
+        for stats in history:
+            for user, item in zip(stats.users, stats.neg_items):
+                assert not micro_dataset.train.contains(int(user), int(item))
+
+    def test_sparse_run_statistically_close_to_exact(self, tiny_dataset):
+        from repro.samplers.variants import make_sampler
+
+        exact = make_trainer(
+            tiny_dataset, epochs=5, batch_size=8, sampler=make_sampler("bns")
+        )
+        sparse = make_trainer(
+            tiny_dataset,
+            epochs=5,
+            batch_size=8,
+            sampler=make_sampler("bns", cdf="subsampled:256"),
+        )
+        history_e, history_s = exact.fit(), sparse.fit()
+        assert abs(history_e[-1].mean_loss - history_s[-1].mean_loss) < 0.1
