@@ -8,13 +8,21 @@ Commands
     One training run (dataset × model × sampler) with final metrics.
 ``experiment``
     Regenerate one of the paper's artifacts (table1..4, fig1..5) at a
-    chosen scale and print it.
+    chosen scale and print it.  ``--workers`` parallelizes the runs;
+    results are cached content-addressed under ``--cache-dir`` so a
+    repeated artifact is assembled without retraining.
+``run-all``
+    Execute every paper artifact off one shared run cache.
+``cache``
+    Inspect (``ls``) or delete (``clear``) the run cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from datetime import datetime
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.data.registry import available_datasets
@@ -25,6 +33,45 @@ __all__ = ["main", "build_parser"]
 #: Artifact name → runner import path (lazy: importing the experiments
 #: package pulls the training stack, which list-datasets doesn't need).
 _ARTIFACTS = ("table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5")
+
+#: Artifacts that train through the engine and accept ``engine=``.
+#: Mirrors ``repro.experiments.run_all.ENGINE_ARTIFACTS`` (kept literal
+#: here so ``--help``/parsing never imports the training stack; a test
+#: pins the two in sync).
+_ENGINE_ARTIFACTS = frozenset(
+    {"table2", "table3", "table4", "fig1", "fig4", "fig5"}
+)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Orchestration flags shared by ``experiment`` and ``run-all``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="training runs executed concurrently (process pool); 1 keeps "
+        "the deterministic sequential backend — both produce identical "
+        "metrics per run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-bns); runs found there are not retrained",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every run fresh and persist nothing",
+    )
+    parser.add_argument(
+        "--save-models",
+        action="store_true",
+        help="checkpoint each run's best model into the cache "
+        "(model.npz next to result.json; incompatible with --no-cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,8 +122,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("unit", "bench", "paper"), default="bench"
     )
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="override the artifact's dataset(s); artifacts that take a "
+        "single dataset use the first name",
+    )
+    _add_engine_options(experiment)
+
+    run_all = commands.add_parser(
+        "run-all",
+        help="regenerate every paper artifact off one shared run cache",
+    )
+    run_all.add_argument(
+        "--scale", choices=("unit", "bench", "paper"), default="bench"
+    )
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument(
+        "--artifacts",
+        nargs="+",
+        default=None,
+        choices=_ARTIFACTS,
+        metavar="NAME",
+        help="subset of artifacts to produce (default: all)",
+    )
+    run_all.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="override every artifact's dataset with one name (smoke "
+        "runs use 'tiny'); default keeps each artifact's paper dataset",
+    )
+    run_all.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="PATH",
+        help="also write each artifact as <name>.txt under PATH",
+    )
+    _add_engine_options(run_all)
+
+    cache = commands.add_parser("cache", help="inspect or clear the run cache")
+    cache_actions = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_actions.add_parser("ls", help="list cached runs")
+    cache_ls.add_argument("--cache-dir", default=None, metavar="PATH")
+    cache_clear = cache_actions.add_parser("clear", help="delete cached runs")
+    cache_clear.add_argument("--cache-dir", default=None, metavar="PATH")
 
     return parser
+
+
+def _make_engine(args: argparse.Namespace):
+    """Build the orchestration engine an ``experiment``/``run-all`` uses."""
+    from repro.experiments.engine import ExperimentEngine
+
+    if args.save_models and args.no_cache:
+        raise SystemExit("--save-models needs the cache; drop --no-cache")
+    store = None if args.no_cache else _resolve_store(args.cache_dir)
+    return ExperimentEngine(
+        store, workers=args.workers, save_models=args.save_models
+    )
+
+
+def _resolve_store(cache_dir: Optional[str]):
+    from repro.experiments.engine import ArtifactStore, default_cache_dir
+
+    return ArtifactStore(Path(cache_dir) if cache_dir else default_cache_dir())
 
 
 def _cmd_list_datasets(args: argparse.Namespace) -> int:
@@ -109,22 +221,107 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _artifact_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Per-artifact keyword arguments from the CLI flags."""
+    kwargs: Dict[str, object] = {"scale": args.scale, "seed": args.seed}
+    if args.datasets:
+        if args.artifact in ("table1", "table2"):
+            kwargs["datasets"] = tuple(args.datasets)
+        else:
+            kwargs["dataset_name"] = args.datasets[0]
+    if args.artifact in _ENGINE_ARTIFACTS:
+        kwargs["engine"] = _make_engine(args)
+    else:
+        _note_unused_engine_flags(args)
+    return kwargs
+
+
+def _note_unused_engine_flags(args: argparse.Namespace) -> None:
+    if args.workers != 1 or args.cache_dir or args.no_cache or args.save_models:
+        print(
+            f"note: {args.artifact} trains nothing; --workers/--cache-dir/"
+            "--no-cache/--save-models have no effect on it",
+            file=sys.stderr,
+        )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
     runner = getattr(experiments, f"run_{args.artifact}")
     if args.artifact in ("fig2", "fig3"):
-        result = runner()  # analytic artifacts take no scale
+        # Analytic artifacts: no scale, no datasets, no training runs.
+        _note_unused_engine_flags(args)
+        if args.datasets:
+            print(
+                f"note: {args.artifact} is closed-form; --datasets has no "
+                "effect on it",
+                file=sys.stderr,
+            )
+        result = runner()
     else:
-        result = runner(scale=args.scale, seed=args.seed)
+        result = runner(**_artifact_kwargs(args))
     print(result.format())
     return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import ALL_ARTIFACTS, run_all
+
+    artifacts = tuple(args.artifacts) if args.artifacts else ALL_ARTIFACTS
+    engine = _make_engine(args)
+    result = run_all(
+        scale=args.scale,
+        seed=args.seed,
+        artifacts=artifacts,
+        dataset=args.dataset,
+        engine=engine,
+    )
+
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in artifacts:
+        text = result.artifacts[name].format()
+        print(text)
+        print()
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(text + "\n")
+    print(result.format_summary())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.cache_dir)
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache empty ({store.version_dir})")
+            return 0
+        print(f"{'key':<14} {'run':<28} {'seed':>4} {'model?':>6}  cached at")
+        for entry in entries:
+            stamp = datetime.fromtimestamp(entry.mtime).isoformat(
+                sep=" ", timespec="seconds"
+            )
+            print(
+                f"{entry.key[:12]:<14} {entry.label:<28} {entry.seed:>4} "
+                f"{'yes' if entry.has_model else 'no':>6}  {stamp}"
+            )
+        print(f"{len(entries)} cached runs in {store.version_dir}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached runs from {store.version_dir}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list-datasets": _cmd_list_datasets,
     "train": _cmd_train,
     "experiment": _cmd_experiment,
+    "run-all": _cmd_run_all,
+    "cache": _cmd_cache,
 }
 
 

@@ -1,0 +1,248 @@
+"""The orchestration engine: cache → job graph → executor → results.
+
+:meth:`ExperimentEngine.run_many` is the single entry point the artifact
+modules use.  Resolution order per request:
+
+1. in-memory memo (shared runs within one process, e.g. ``run-all``);
+2. the on-disk :class:`~repro.experiments.engine.store.ArtifactStore`
+   (shared runs across processes and across interrupted grids);
+3. the executor backend (sequential or process pool) for the misses,
+   whose payloads are committed back to the store as they complete.
+
+Results come back aligned with the request list, so callers keep their
+grid shape without tracking keys themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.engine.executor import (
+    ProcessPoolRunExecutor,
+    SequentialExecutor,
+)
+from repro.experiments.engine.jobs import JobGraph
+from repro.experiments.engine.request import EngineRequest, canonical_payload
+from repro.experiments.engine.store import ArtifactStore
+
+__all__ = ["EngineResult", "EngineStats", "ExperimentEngine", "resolve_engine"]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """One run's payload plus provenance (key, request, cache status)."""
+
+    key: str
+    request: EngineRequest
+    payload: dict
+    cached: bool
+
+    @property
+    def spec(self):
+        return self.request.spec
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return self.payload["metrics"]
+
+    def metric(self, name: str) -> float:
+        """Single metric lookup with a helpful error."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"metric {name!r} not recorded; available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    @property
+    def loss_curve(self) -> List[float]:
+        return self.payload["loss_curve"]
+
+    @property
+    def checkpoint(self) -> Optional[str]:
+        """Path of the saved model checkpoint, when the run kept one."""
+        return self.payload.get("checkpoint")
+
+    # -- recorder views ------------------------------------------------- #
+
+    @property
+    def tnr_series(self) -> np.ndarray:
+        """Per-epoch TNR (requires ``record_sampling_quality``)."""
+        return np.asarray(self._quality()["tnr"], dtype=float)
+
+    @property
+    def inf_series(self) -> np.ndarray:
+        """Per-epoch INF (requires ``record_sampling_quality``)."""
+        return np.asarray(self._quality()["inf"], dtype=float)
+
+    def snapshots(self) -> Dict[int, "ScoreSnapshot"]:
+        """Epoch → TN/FN score snapshot (requires ``distribution_epochs``)."""
+        from repro.eval.distribution import ScoreSnapshot
+
+        recorded = self.payload.get("distributions")
+        if recorded is None:
+            raise KeyError(
+                "run recorded no score distributions; request them via "
+                "EngineRequest(distribution_epochs=...)"
+            )
+        return {
+            int(entry["epoch"]): ScoreSnapshot(
+                epoch=int(entry["epoch"]),
+                tn_scores=np.asarray(entry["tn_scores"], dtype=float),
+                fn_scores=np.asarray(entry["fn_scores"], dtype=float),
+            )
+            for entry in recorded
+        }
+
+    def _quality(self) -> dict:
+        quality = self.payload.get("sampling_quality")
+        if quality is None:
+            raise KeyError(
+                "run recorded no sampling quality; request it via "
+                "EngineRequest(record_sampling_quality=True)"
+            )
+        return quality
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss counters over the engine's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+class ExperimentEngine:
+    """Orchestrate runs against a cache and an execution backend.
+
+    Parameters
+    ----------
+    store:
+        On-disk run cache; ``None`` keeps results only in the in-memory
+        memo (the default for library use and unit tests).
+    workers:
+        Convenience: ``1`` selects the sequential backend, ``>1`` a
+        process pool of that size.  Ignored when ``executor`` is given.
+    executor:
+        Explicit backend instance (any object with ``run(jobs, paths)``).
+    save_models:
+        Persist each run's best model through
+        :class:`~repro.train.callbacks.CheckpointCallback` into the store
+        (requires ``store``); the payload's ``checkpoint`` field records
+        the path and :meth:`load_model` restores it.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        *,
+        workers: int = 1,
+        executor=None,
+        save_models: bool = False,
+    ) -> None:
+        if executor is None:
+            executor = (
+                SequentialExecutor()
+                if workers <= 1
+                else ProcessPoolRunExecutor(workers)
+            )
+        self.executor = executor
+        self.store = store
+        if save_models and store is None:
+            raise ValueError("save_models=True requires a store")
+        self.save_models = bool(save_models)
+        self.stats = EngineStats()
+        self._memo: Dict[str, EngineResult] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, request: EngineRequest) -> EngineResult:
+        """Execute (or recall) a single request."""
+        return self.run_many([request])[0]
+
+    def run_many(self, requests: Sequence[EngineRequest]) -> List[EngineResult]:
+        """Execute (or recall) a batch; results align with ``requests``.
+
+        Duplicate requests — within the batch or across earlier calls on
+        this engine — map onto one job/cache entry.
+        """
+        graph = JobGraph()
+        keys = [graph.add(request).key for request in requests]
+
+        pending = []
+        for job in graph.jobs():
+            if job.key in self._memo:
+                self.stats.hits += 1
+                continue
+            if self.store is not None:
+                payload = self.store.load(job.key)
+                if payload is not None:
+                    if (
+                        self.save_models
+                        and not self.store.model_path(job.key).is_file()
+                    ):
+                        # The cached payload was computed without a
+                        # checkpoint; honoring save_models means the run
+                        # must be re-executed, not silently served
+                        # checkpoint-less.
+                        pending.append(job)
+                        continue
+                    self._memo[job.key] = EngineResult(
+                        key=job.key,
+                        request=job.request,
+                        payload=payload,
+                        cached=True,
+                    )
+                    self.stats.hits += 1
+                    continue
+            pending.append(job)
+
+        if pending:
+            checkpoint_paths: Dict[str, str] = {}
+            if self.save_models and self.store is not None:
+                for job in pending:
+                    path = self.store.model_path(job.key)
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    checkpoint_paths[job.key] = str(path)
+            for key, payload in self.executor.run(pending, checkpoint_paths):
+                request = graph[key].request
+                if self.store is not None:
+                    self.store.store(key, canonical_payload(request), payload)
+                self._memo[key] = EngineResult(
+                    key=key, request=request, payload=payload, cached=False
+                )
+                self.stats.misses += 1
+
+        return [self._memo[key] for key in keys]
+
+    # ------------------------------------------------------------------ #
+
+    def load_model(self, result: EngineResult):
+        """Rebuild the persisted model of a checkpointed run."""
+        from repro.models.persistence import load_model
+
+        if self.store is None:
+            raise ValueError("engine has no store to load models from")
+        path = self.store.model_path(result.key)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no checkpoint for run {result.key[:12]}; execute it with "
+                "save_models=True"
+            )
+        return load_model(path)
+
+
+def resolve_engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    """The engine to use: the caller's, or a fresh in-memory sequential one.
+
+    The fallback reproduces the pre-engine behavior of every artifact
+    module (train everything, keep nothing on disk), so passing no engine
+    is always safe.
+    """
+    return engine if engine is not None else ExperimentEngine()

@@ -1,0 +1,189 @@
+"""Execution backends: sequential and process-pool.
+
+Both backends funnel through :func:`execute_request`, which rebuilds the
+dataset and model *from the spec* (per-spec seeded RNG, no shared mutable
+state) and returns a plain-JSON payload.  That shared code path is what
+makes the determinism contract hold: for the same key, the parallel
+backend's metrics are bitwise-identical to the sequential backend's —
+pinned by ``tests/experiments/engine/test_executor.py``.
+
+Datasets are memoized per process keyed on ``(name, seed)``: pool workers
+are reused across jobs, so a grid over one dataset pays generation/split
+cost once per worker, not once per run — the same sharing the old
+sequential artifact loops got by passing one dataset object around.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor as _PoolImpl
+from concurrent.futures import as_completed
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.engine.jobs import Job
+from repro.experiments.engine.request import EngineRequest
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "execute_request",
+    "load_dataset_cached",
+    "payload_from_result",
+    "SequentialExecutor",
+    "ProcessPoolRunExecutor",
+]
+
+#: Per-process dataset memo: (dataset name, dataset seed) → ImplicitDataset.
+_DATASET_CACHE: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+_DATASET_CACHE_MAX = 4
+
+
+def load_dataset_cached(name: str, seed: int):
+    """`load_dataset` through the per-process memo.
+
+    Artifact assembly code that needs the dataset itself (e.g. Fig. 4's
+    base rate) should come through here so the parent process and the
+    sequential backend share one load.
+    """
+    key = (name, int(seed))
+    cached = _DATASET_CACHE.get(key)
+    if cached is not None:
+        _DATASET_CACHE.move_to_end(key)
+        return cached
+    from repro.data.registry import load_dataset
+
+    dataset = load_dataset(name, seed=seed)
+    _DATASET_CACHE[key] = dataset
+    while len(_DATASET_CACHE) > _DATASET_CACHE_MAX:
+        _DATASET_CACHE.popitem(last=False)
+    return dataset
+
+
+def payload_from_result(result, *, checkpoint: Optional[str] = None) -> dict:
+    """Convert a :class:`~repro.experiments.runner.RunResult` to plain JSON."""
+    payload: dict = {
+        "metrics": {name: float(v) for name, v in result.metrics.items()},
+        "loss_curve": [float(v) for v in result.loss_curve],
+        "sampling_quality": None,
+        "distributions": None,
+        "checkpoint": checkpoint,
+    }
+    quality = result.sampling_quality
+    if quality is not None:
+        payload["sampling_quality"] = {
+            "epochs": [int(r.epoch) for r in quality.records],
+            "tnr": [float(r.tnr) for r in quality.records],
+            "inf": [float(r.inf) for r in quality.records],
+            "n_sampled": [int(r.n_sampled) for r in quality.records],
+            "n_false_negatives": [
+                int(r.n_false_negatives) for r in quality.records
+            ],
+        }
+    distributions = result.distributions
+    if distributions is not None:
+        payload["distributions"] = [
+            {
+                "epoch": int(epoch),
+                "tn_scores": np.asarray(snap.tn_scores, dtype=float).tolist(),
+                "fn_scores": np.asarray(snap.fn_scores, dtype=float).tolist(),
+            }
+            for epoch, snap in sorted(distributions.snapshots.items())
+        ]
+    return payload
+
+
+def execute_request(
+    request: EngineRequest, *, checkpoint_path: Optional[str] = None
+) -> dict:
+    """Run one request from scratch and return its jsonable payload.
+
+    ``checkpoint_path`` attaches a loss-tracking
+    :class:`~repro.train.callbacks.CheckpointCallback`, so an interrupted
+    long run leaves its best model on disk (resumable grids).
+    """
+    from repro.experiments.runner import run_spec
+    from repro.train.callbacks import CheckpointCallback
+
+    spec = request.spec
+    dataset = load_dataset_cached(spec.dataset, request.resolved_dataset_seed)
+
+    extra_callbacks = []
+    checkpointer: Optional[CheckpointCallback] = None
+    if checkpoint_path is not None:
+        checkpointer = CheckpointCallback(checkpoint_path)
+        extra_callbacks.append(checkpointer)
+
+    result = run_spec(
+        spec,
+        dataset,
+        record_sampling_quality=request.record_sampling_quality,
+        distribution_epochs=request.distribution_epochs,
+        extra_callbacks=extra_callbacks,
+        evaluate=request.evaluate,
+        eval_batched=request.eval_batched,
+        eval_chunk_users=request.eval_chunk_users,
+    )
+    checkpoint = None
+    if checkpointer is not None and checkpointer.n_saves > 0:
+        checkpoint = str(checkpoint_path)
+    return payload_from_result(result, checkpoint=checkpoint)
+
+
+def _execute_job(job: Job, checkpoint_path: Optional[str]) -> Tuple[str, dict]:
+    """Top-level (picklable) pool task: run one job, return (key, payload)."""
+    return job.key, execute_request(job.request, checkpoint_path=checkpoint_path)
+
+
+class SequentialExecutor:
+    """Deterministic in-process backend: jobs run one by one, in order."""
+
+    kind = "sequential"
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        checkpoint_paths: Optional[Mapping[str, str]] = None,
+    ) -> Iterator[Tuple[str, dict]]:
+        paths = checkpoint_paths or {}
+        for job in jobs:
+            yield _execute_job(job, paths.get(job.key))
+
+
+class ProcessPoolRunExecutor:
+    """``concurrent.futures.ProcessPoolExecutor`` backend.
+
+    Jobs are self-contained (spec in, payload out), so workers share
+    nothing with the parent but code; results stream back in completion
+    order and the engine re-keys them, keeping output independent of
+    scheduling.  ``mp_context`` accepts a multiprocessing start-method
+    name ("fork"/"spawn"/"forkserver"); the platform default is used when
+    ``None``.
+    """
+
+    kind = "process-pool"
+
+    def __init__(self, workers: int, *, mp_context: Optional[str] = None) -> None:
+        check_positive(workers, "workers")
+        self.workers = int(workers)
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        checkpoint_paths: Optional[Mapping[str, str]] = None,
+    ) -> Iterator[Tuple[str, dict]]:
+        paths = checkpoint_paths or {}
+        context = None
+        if self.mp_context is not None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.mp_context)
+        max_workers = min(self.workers, max(len(jobs), 1))
+        with _PoolImpl(max_workers=max_workers, mp_context=context) as pool:
+            futures = [
+                pool.submit(_execute_job, job, paths.get(job.key))
+                for job in jobs
+            ]
+            for future in as_completed(futures):
+                yield future.result()

@@ -1,0 +1,58 @@
+"""The job graph: deduplicated, deterministically ordered units of work.
+
+The experiment workload is a grid — embarrassingly parallel, no
+inter-run data dependencies — so the "graph" is the degenerate DAG of
+independent nodes.  Its real job is *identity*: two artifacts (or two
+cells of one sweep) that request the same run collapse onto one
+:class:`Job` keyed by the content address, which is what lets ``repro
+run-all`` produce every table and figure off one shared set of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.experiments.engine.request import EngineRequest, run_key
+
+__all__ = ["Job", "JobGraph"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unique run: a request plus its content address."""
+
+    key: str
+    request: EngineRequest
+
+
+class JobGraph:
+    """Insertion-ordered, key-deduplicated collection of jobs."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+
+    def add(self, request: EngineRequest) -> Job:
+        """Register a request; returns the (possibly pre-existing) job."""
+        key = run_key(request)
+        job = self._jobs.get(key)
+        if job is None:
+            job = Job(key=key, request=request)
+            self._jobs[key] = job
+        return job
+
+    def jobs(self) -> Tuple[Job, ...]:
+        """All jobs in first-insertion order."""
+        return tuple(self._jobs.values())
+
+    def __getitem__(self, key: str) -> Job:
+        return self._jobs[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs.values())

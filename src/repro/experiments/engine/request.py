@@ -1,0 +1,105 @@
+"""Engine requests and their content addresses.
+
+A cached run is only reusable if its key covers *everything* that can
+change the payload: every :class:`~repro.experiments.config.RunSpec` field
+(dataset, model, sampler + kwargs, CDF estimator, training knobs, seed)
+plus the run options (which recorders are attached, whether evaluation
+runs, the evaluation path).  :func:`run_key` therefore hashes the
+canonical JSON of the whole request, prefixed with a format version so a
+payload-schema change invalidates old caches wholesale instead of
+mis-reading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+from repro.experiments.config import RunSpec
+
+__all__ = ["CACHE_FORMAT_VERSION", "EngineRequest", "run_key", "canonical_payload"]
+
+#: Bump whenever the request canonicalization or the payload schema
+#: changes; old cache entries become unreachable (new keys + new store
+#: subdirectory) rather than silently mis-read.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """One unit of work: a spec plus the options that shape its payload."""
+
+    spec: RunSpec
+    #: Seed used to generate/split the dataset.  ``None`` means the spec's
+    #: own seed (the default protocol).  ``run_replicated(fixed_dataset=
+    #: True)`` pins it to the base seed while the spec seed varies.
+    dataset_seed: Optional[int] = None
+    #: Attach a TNR/INF recorder (Fig. 4) and include its series.
+    record_sampling_quality: bool = False
+    #: Epochs at which to snapshot TN/FN score distributions (Fig. 1).
+    distribution_epochs: Tuple[int, ...] = ()
+    #: Run the final ranking evaluation (off for training-only artifacts).
+    evaluate: bool = True
+    #: Evaluator path/chunking — part of the key because gemm-vs-gemv
+    #: score rounding makes the two paths last-ulp different.
+    eval_batched: bool = True
+    eval_chunk_users: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "distribution_epochs",
+            tuple(int(e) for e in self.distribution_epochs),
+        )
+
+    @property
+    def resolved_dataset_seed(self) -> int:
+        """The seed the dataset is actually built with."""
+        return self.spec.seed if self.dataset_seed is None else int(self.dataset_seed)
+
+
+def _jsonable_scalar(value, context: str):
+    """Validate a sampler-kwarg value is canonically JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable_scalar(item, context) for item in value]
+    raise TypeError(
+        f"{context}: cannot content-address value of type "
+        f"{type(value).__name__} ({value!r}); use JSON-scalar sampler kwargs"
+    )
+
+
+def canonical_payload(request: EngineRequest) -> dict:
+    """The exact dict that is hashed into the run key (stable ordering)."""
+    spec_fields = asdict(request.spec)
+    spec_fields["sampler_kwargs"] = [
+        [str(name), _jsonable_scalar(value, f"sampler_kwargs[{name!r}]")]
+        for name, value in sorted(request.spec.sampler_kwargs)
+    ]
+    spec_fields["ks"] = [int(k) for k in request.spec.ks]
+    import repro
+
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        # The library version participates in the address: a release that
+        # changes training/eval numerics must not serve stale payloads.
+        # (Uncommitted dev edits still hit old entries — use --no-cache or
+        # `repro cache clear` in that loop.)
+        "library_version": repro.__version__,
+        "spec": spec_fields,
+        "dataset_seed": request.resolved_dataset_seed,
+        "record_sampling_quality": bool(request.record_sampling_quality),
+        "distribution_epochs": list(request.distribution_epochs),
+        "evaluate": bool(request.evaluate),
+        "eval_batched": bool(request.eval_batched),
+        "eval_chunk_users": request.eval_chunk_users,
+    }
+
+
+def run_key(request: EngineRequest) -> str:
+    """SHA-256 content address of a request (hex, filesystem-safe)."""
+    blob = json.dumps(canonical_payload(request), sort_keys=True, allow_nan=False)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,223 @@
+"""Content-addressed on-disk store for run payloads.
+
+Layout (``v{CACHE_FORMAT_VERSION}`` isolates incompatible schemas)::
+
+    <root>/v1/<key[:2]>/<key>/result.json   # the committed payload
+    <root>/v1/<key[:2]>/<key>/model.npz     # optional checkpoint
+
+``result.json`` is written last, via a temp file + atomic rename: its
+presence is the commit marker, so an interrupted run leaves at most an
+uncommitted directory that the next grid simply recomputes.  A corrupted
+or schema-mismatched entry is treated as a miss (and evicted) rather than
+an error — the cache must never be able to wedge an experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.engine.request import CACHE_FORMAT_VERSION
+from repro.utils.logging import get_logger
+
+__all__ = ["ArtifactStore", "CacheEntry", "default_cache_dir"]
+
+_LOGGER = get_logger("experiments.engine.store")
+
+PathLike = Union[str, Path]
+
+_RESULT_FILE = "result.json"
+_REQUEST_FILE = "request.json"
+_MODEL_FILE = "model.npz"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bns``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-bns").expanduser()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One committed run in the store (metadata only, payload not loaded)."""
+
+    key: str
+    label: str
+    seed: int
+    mtime: float
+    size_bytes: int
+    has_model: bool
+
+
+class ArtifactStore:
+    """Versioned key → payload store with corruption recovery."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root).expanduser()
+        self.version_dir = self.root / f"v{CACHE_FORMAT_VERSION}"
+
+    # ------------------------------------------------------------------ #
+    # paths
+
+    def entry_dir(self, key: str) -> Path:
+        """Directory holding one run's files (sharded by key prefix)."""
+        self._check_key(key)
+        return self.version_dir / key[:2] / key
+
+    def result_path(self, key: str) -> Path:
+        return self.entry_dir(key) / _RESULT_FILE
+
+    def model_path(self, key: str) -> Path:
+        """Where the run's model checkpoint lives (may not exist)."""
+        return self.entry_dir(key) / _MODEL_FILE
+
+    # ------------------------------------------------------------------ #
+    # read / write
+
+    def load(self, key: str) -> Optional[dict]:
+        """The committed payload for ``key``, or ``None`` on miss.
+
+        A malformed entry (truncated JSON, wrong schema, key mismatch) is
+        evicted and reported as a miss so the run is recomputed.  A
+        *read* failure (transient I/O on a network mount) is only a miss:
+        the entry — including any model checkpoint — is left in place.
+        """
+        path = self.result_path(key)
+        if not path.is_file():
+            return None
+        try:
+            text = path.read_text()
+        except UnicodeDecodeError as exc:  # binary garbage in the file
+            _LOGGER.warning(
+                "evicting corrupted cache entry %s (%s)", key[:12], exc
+            )
+            self.evict(key)
+            return None
+        except OSError as exc:
+            _LOGGER.warning(
+                "cache entry %s unreadable, treating as miss (%s)",
+                key[:12],
+                exc,
+            )
+            return None
+        try:
+            document = json.loads(text)
+            if document["format_version"] != CACHE_FORMAT_VERSION:
+                raise ValueError(
+                    f"format_version {document['format_version']!r}"
+                )
+            if document["key"] != key:
+                raise ValueError(f"stored key {document['key']!r}")
+            payload = document["payload"]
+            if not isinstance(payload, dict) or "metrics" not in payload:
+                raise ValueError("payload missing 'metrics'")
+        except (ValueError, KeyError, TypeError) as exc:
+            _LOGGER.warning(
+                "evicting corrupted cache entry %s (%s)", key[:12], exc
+            )
+            self.evict(key)
+            return None
+        return payload
+
+    def store(self, key: str, request_payload: dict, payload: dict) -> Path:
+        """Commit ``payload`` under ``key``; returns the result path.
+
+        ``request_payload`` (the canonical request dict) is stored
+        alongside so ``cache ls`` and humans can see what a key means
+        without reversing the hash — both inside the committed document
+        and as a small ``request.json`` sidecar, so listings never parse
+        multi-megabyte payloads (Fig. 1 runs embed full score arrays).
+        """
+        directory = self.entry_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / _REQUEST_FILE).write_text(
+            json.dumps(request_payload, sort_keys=True) + "\n"
+        )
+        document = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "request": request_payload,
+            "payload": payload,
+        }
+        target = directory / _RESULT_FILE
+        # Unique staging name: two processes committing the same key (a
+        # shared cache on a network mount) must never interleave writes
+        # into one temp file — last rename wins, both files were whole.
+        staging = directory / f"{_RESULT_FILE}.{os.getpid()}.tmp"
+        staging.write_text(json.dumps(document, sort_keys=True) + "\n")
+        os.replace(staging, target)
+        return target
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (no error if absent)."""
+        shutil.rmtree(self.entry_dir(key), ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    # inspection / maintenance
+
+    def keys(self) -> List[str]:
+        """Keys of all committed entries, sorted."""
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(
+            path.parent.name
+            for path in self.version_dir.glob(f"*/*/{_RESULT_FILE}")
+        )
+
+    def entries(self) -> List[CacheEntry]:
+        """Metadata of every committed entry (for ``repro cache ls``)."""
+        out: List[CacheEntry] = []
+        for key in self.keys():
+            path = self.result_path(key)
+            label, seed = "?", -1
+            try:
+                # Prefer the sidecar; fall back to the committed document
+                # for entries written before the sidecar existed.
+                sidecar = self.entry_dir(key) / _REQUEST_FILE
+                source = sidecar if sidecar.is_file() else path
+                document = json.loads(source.read_text())
+                spec = document["spec"] if source is sidecar else document[
+                    "request"
+                ]["spec"]
+                label = f"{spec['dataset']}/{spec['model']}/{spec['sampler']}"
+                seed = int(spec["seed"])
+            except (ValueError, KeyError, TypeError, OSError):
+                pass
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # entry vanished between keys() and here
+            out.append(
+                CacheEntry(
+                    key=key,
+                    label=label,
+                    seed=seed,
+                    mtime=stat.st_mtime,
+                    size_bytes=stat.st_size,
+                    has_model=self.model_path(key).is_file(),
+                )
+            )
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry of the current format version; returns count."""
+        count = len(self.keys())
+        shutil.rmtree(self.version_dir, ignore_errors=True)
+        return count
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.result_path(key).is_file()
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not isinstance(key, str) or len(key) < 8 or not key.isalnum():
+            raise ValueError(f"malformed run key {key!r}")

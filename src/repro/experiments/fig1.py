@@ -12,17 +12,20 @@ at several epochs.  The reproduced claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.registry import load_dataset
 from repro.eval.distribution import ScoreSnapshot
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    resolve_engine,
+)
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_spec
 
-__all__ = ["Fig1Result", "run_fig1"]
+__all__ = ["Fig1Result", "run_fig1", "fig1_requests"]
 
 
 @dataclass
@@ -69,20 +72,19 @@ class Fig1Result:
         )
 
 
-def run_fig1(
+def fig1_requests(
     scale: Scale = "bench",
     seed: int = 0,
     dataset_name: str = "ml-100k",
     epochs_to_snapshot: Sequence[int] = (),
     epochs: int = 0,
-) -> Fig1Result:
-    """Train MF+RNS and snapshot TN/FN score distributions.
+) -> List[EngineRequest]:
+    """The single MF+RNS training-only request behind Fig. 1.
 
     ``epochs`` overrides the scale preset's epoch count when positive.
     """
     preset = scale_preset(scale)
     name = dataset_name + preset.dataset_suffix
-    dataset = load_dataset(name, seed=seed)
     spec = RunSpec(
         dataset=name,
         model="mf",
@@ -95,11 +97,25 @@ def run_fig1(
     if not epochs_to_snapshot:
         last = spec.epochs - 1
         epochs_to_snapshot = sorted({0, last // 4, last // 2, (3 * last) // 4, last})
-    result = run_spec(
-        spec,
-        dataset,
-        distribution_epochs=epochs_to_snapshot,
-        evaluate=False,
-    )
-    assert result.distributions is not None
-    return Fig1Result(scale=scale, snapshots=dict(result.distributions.snapshots))
+    return [
+        EngineRequest(
+            spec,
+            distribution_epochs=tuple(epochs_to_snapshot),
+            evaluate=False,
+        )
+    ]
+
+
+def run_fig1(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    epochs_to_snapshot: Sequence[int] = (),
+    epochs: int = 0,
+    *,
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig1Result:
+    """Train MF+RNS and snapshot TN/FN score distributions."""
+    requests = fig1_requests(scale, seed, dataset_name, epochs_to_snapshot, epochs)
+    (result,) = resolve_engine(engine).run_many(requests)
+    return Fig1Result(scale=scale, snapshots=result.snapshots())

@@ -16,16 +16,20 @@ Reproduced claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.registry import load_dataset
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    load_dataset_cached,
+    resolve_engine,
+)
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import run_spec
 
-__all__ = ["Fig4Result", "run_fig4", "FIG4_SAMPLERS"]
+__all__ = ["Fig4Result", "run_fig4", "fig4_requests", "FIG4_SAMPLERS"]
 
 #: Fig. 4's comparison set: baselines + both BNS criteria.
 FIG4_SAMPLERS: Tuple[str, ...] = (
@@ -75,16 +79,47 @@ class Fig4Result:
         return tnr_text + "\n\n" + inf_text
 
 
+def fig4_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    samplers: Sequence[str] = FIG4_SAMPLERS,
+) -> List[EngineRequest]:
+    """One quality-recording, training-only MF request per sampler."""
+    preset = scale_preset(scale)
+    full_name = dataset_name + preset.dataset_suffix
+    return [
+        EngineRequest(
+            RunSpec(
+                dataset=full_name,
+                model="mf",
+                sampler=sampler,
+                epochs=preset.epochs,
+                batch_size=preset.batch_size,
+                lr=preset.lr,
+                seed=seed,
+            ),
+            record_sampling_quality=True,
+            evaluate=False,
+        )
+        for sampler in samplers
+    ]
+
+
 def run_fig4(
     scale: Scale = "bench",
     seed: int = 0,
     dataset_name: str = "ml-100k",
     samplers: Sequence[str] = FIG4_SAMPLERS,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig4Result:
     """Record TNR/INF curves for each sampler on a shared dataset."""
     preset = scale_preset(scale)
     full_name = dataset_name + preset.dataset_suffix
-    dataset = load_dataset(full_name, seed=seed)
+    # Through the engine's per-process memo, so the sequential backend's
+    # runs reuse this load instead of regenerating the dataset.
+    dataset = load_dataset_cached(full_name, seed)
 
     # Base rate: expected TNR of uniform sampling = 1 − E_u[|test_u| / |I⁻_u|]
     # over training pairs (each pair triggers one draw for that user).
@@ -93,25 +128,17 @@ def run_fig4(
     negative_sizes = dataset.n_items - dataset.train.user_activity[users]
     base_rate = float(1.0 - (test_sizes / np.maximum(negative_sizes, 1)).mean())
 
+    requests = fig4_requests(scale, seed, dataset_name, samplers)
+    results = resolve_engine(engine).run_many(requests)
     tnr: Dict[str, np.ndarray] = {}
     inf: Dict[str, np.ndarray] = {}
-    epochs = np.arange(preset.epochs)
-    for sampler in samplers:
-        spec = RunSpec(
-            dataset=full_name,
-            model="mf",
-            sampler=sampler,
-            epochs=preset.epochs,
-            batch_size=preset.batch_size,
-            lr=preset.lr,
-            seed=seed,
-        )
-        result = run_spec(
-            spec, dataset, record_sampling_quality=True, evaluate=False
-        )
-        assert result.sampling_quality is not None
-        tnr[sampler] = result.sampling_quality.tnr_series
-        inf[sampler] = result.sampling_quality.inf_series
+    for sampler, result in zip(samplers, results):
+        tnr[sampler] = result.tnr_series
+        inf[sampler] = result.inf_series
     return Fig4Result(
-        scale=scale, epochs=epochs, tnr=tnr, inf=inf, base_rate=base_rate
+        scale=scale,
+        epochs=np.arange(preset.epochs),
+        tnr=tnr,
+        inf=inf,
+        base_rate=base_rate,
     )

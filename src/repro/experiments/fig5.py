@@ -12,14 +12,17 @@ Two sweeps on MF, NDCG@20 as the target (the paper's Fig. 5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.data.registry import load_dataset
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    resolve_engine,
+)
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_spec
 
-__all__ = ["Fig5Result", "run_fig5"]
+__all__ = ["Fig5Result", "run_fig5", "fig5_requests"]
 
 _LAMBDAS = (0.1, 1.0, 5.0, 10.0, 15.0)
 _SIZES = (1, 3, 5, 10, 15)
@@ -64,22 +67,13 @@ class Fig5Result:
         )
 
 
-def run_fig5(
-    scale: Scale = "bench",
-    seed: int = 0,
-    dataset_name: str = "ml-100k",
-    lambdas: Sequence[float] = _LAMBDAS,
-    sizes: Sequence[int] = _SIZES,
-    metric: str = "ndcg@20",
-) -> Fig5Result:
-    """Run both BNS hyper-parameter sweeps on a shared dataset/split."""
+def _bns_request(
+    scale: Scale, seed: int, dataset_name: str, **sampler_kwargs
+) -> EngineRequest:
     preset = scale_preset(scale)
-    full_name = dataset_name + preset.dataset_suffix
-    dataset = load_dataset(full_name, seed=seed)
-
-    def run_bns(**sampler_kwargs) -> float:
-        spec = RunSpec(
-            dataset=full_name,
+    return EngineRequest(
+        RunSpec(
+            dataset=dataset_name + preset.dataset_suffix,
             model="mf",
             sampler="bns",
             sampler_kwargs=tuple(sorted(sampler_kwargs.items())),
@@ -88,13 +82,58 @@ def run_fig5(
             lr=preset.lr,
             seed=seed,
         )
-        return run_spec(spec, dataset).metric(metric)
+    )
 
+
+def fig5_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    lambdas: Sequence[float] = _LAMBDAS,
+    sizes: Sequence[int] = _SIZES,
+) -> List[EngineRequest]:
+    """Both sweeps' requests (λ sweep then |M_u| sweep, in sweep order).
+
+    The λ = 5, |M_u| = 5 cell appears in both sweeps; the engine's job
+    graph collapses the duplicate onto one run.
+    """
+    lam_requests = [
+        _bns_request(
+            scale, seed, dataset_name, weight=float(lam), n_candidates=5
+        )
+        for lam in lambdas
+    ]
+    size_requests = [
+        _bns_request(
+            scale, seed, dataset_name, weight=5.0, n_candidates=int(size)
+        )
+        for size in sizes
+    ]
+    return lam_requests + size_requests
+
+
+def run_fig5(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    lambdas: Sequence[float] = _LAMBDAS,
+    sizes: Sequence[int] = _SIZES,
+    metric: str = "ndcg@20",
+    *,
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig5Result:
+    """Run both BNS hyper-parameter sweeps on a shared dataset/split."""
+    requests = fig5_requests(scale, seed, dataset_name, lambdas, sizes)
+    results = resolve_engine(engine).run_many(requests)
+    lambda_results = results[: len(lambdas)]
+    size_results = results[len(lambdas) :]
     lambda_sweep = [
-        (float(lam), run_bns(weight=float(lam), n_candidates=5)) for lam in lambdas
+        (float(lam), result.metric(metric))
+        for lam, result in zip(lambdas, lambda_results)
     ]
     size_sweep = [
-        (int(size), run_bns(weight=5.0, n_candidates=int(size))) for size in sizes
+        (int(size), result.metric(metric))
+        for size, result in zip(sizes, size_results)
     ]
     return Fig5Result(
         scale=scale, metric=metric, lambda_sweep=lambda_sweep, size_sweep=size_sweep

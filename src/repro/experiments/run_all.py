@@ -1,0 +1,199 @@
+"""Produce every paper artifact off one shared run cache.
+
+``repro run-all`` is the production entry point for the whole results
+grid: gather the engine requests of every training-backed artifact
+(Tables II–IV, Figs. 1, 4, 5), warm the cache with **one** ``run_many``
+call — so a process-pool backend parallelizes across artifacts, not just
+within one — then assemble each artifact from what are now guaranteed
+cache hits.  Table I (dataset statistics) and Figs. 2–3 (closed-form
+theory) need no training and run inline.
+
+Specs shared between artifacts (e.g. Fig. 5's λ = 5, |M_u| = 5 cell and
+any overlapping sweeps) collapse onto single runs via the content
+address, and a second ``run-all`` against the same store trains nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import Scale
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    JobGraph,
+    resolve_engine,
+)
+from repro.experiments.fig1 import fig1_requests, run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import fig4_requests, run_fig4
+from repro.experiments.fig5 import fig5_requests, run_fig5
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import table2_requests, run_table2
+from repro.experiments.table3 import table3_requests, run_table3
+from repro.experiments.table4 import table4_requests, run_table4
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ALL_ARTIFACTS",
+    "ENGINE_ARTIFACTS",
+    "RunAllResult",
+    "gather_requests",
+    "run_all",
+]
+
+_LOGGER = get_logger("experiments.run_all")
+
+#: Every artifact in the paper's order.
+ALL_ARTIFACTS: Tuple[str, ...] = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+)
+
+#: Artifacts whose runs go through the engine (the rest are train-free).
+ENGINE_ARTIFACTS: Tuple[str, ...] = (
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig4",
+    "fig5",
+)
+
+_REQUEST_BUILDERS = {
+    "table2": table2_requests,
+    "table3": table3_requests,
+    "table4": table4_requests,
+    "fig1": fig1_requests,
+    "fig4": fig4_requests,
+    "fig5": fig5_requests,
+}
+
+
+def _dataset_kwargs(name: str, dataset: Optional[str]) -> Dict[str, object]:
+    """Per-artifact kwargs for a single-dataset override (CI/smoke runs)."""
+    if dataset is None or name in ("fig2", "fig3"):
+        return {}
+    if name in ("table1", "table2"):
+        return {"datasets": (dataset,)}
+    return {"dataset_name": dataset}
+
+
+@dataclass
+class RunAllResult:
+    """All artifact results plus orchestration accounting."""
+
+    scale: Scale
+    seed: int
+    artifacts: Dict[str, object]  # name → artifact result object
+    n_runs: int  # unique training runs behind the grid
+    hits: int
+    misses: int
+    elapsed_seconds: float
+
+    def format_summary(self) -> str:
+        """One-paragraph orchestration report for the CLI."""
+        return (
+            f"run-all: {len(self.artifacts)} artifacts, {self.n_runs} unique "
+            f"training runs ({self.hits} cache hits, {self.misses} computed) "
+            f"in {self.elapsed_seconds:.1f}s"
+        )
+
+
+def gather_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    artifacts: Sequence[str] = ALL_ARTIFACTS,
+    dataset: Optional[str] = None,
+) -> List[EngineRequest]:
+    """Every engine request the selected artifacts will consume."""
+    requests: List[EngineRequest] = []
+    for name in artifacts:
+        builder = _REQUEST_BUILDERS.get(name)
+        if builder is not None:
+            requests.extend(
+                builder(scale=scale, seed=seed, **_dataset_kwargs(name, dataset))
+            )
+    return requests
+
+
+def run_all(
+    scale: Scale = "bench",
+    seed: int = 0,
+    *,
+    artifacts: Sequence[str] = ALL_ARTIFACTS,
+    dataset: Optional[str] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> RunAllResult:
+    """Regenerate every requested artifact from one shared cache.
+
+    ``dataset`` overrides every artifact's dataset with one name (smoke
+    runs on ``"tiny"``); the default keeps each artifact's paper dataset.
+    """
+    unknown = sorted(set(artifacts) - set(ALL_ARTIFACTS))
+    if unknown:
+        raise ValueError(
+            f"unknown artifacts {unknown}; available: {list(ALL_ARTIFACTS)}"
+        )
+    engine = resolve_engine(engine)
+    started = time.perf_counter()
+    misses_before = engine.stats.misses
+
+    # Phase 1 — warm the cache across all artifacts in one batch, so a
+    # parallel backend schedules the full grid at once.
+    requests = gather_requests(scale, seed, artifacts, dataset)
+    graph = JobGraph()
+    for request in requests:
+        graph.add(request)
+    if requests:
+        _LOGGER.info(
+            "warming cache: %d requests (%d unique runs)",
+            len(requests),
+            len(graph),
+        )
+        engine.run_many(requests)
+
+    # Phase 2 — assemble each artifact (pure cache hits by construction).
+    runners = {
+        "table1": run_table1,
+        "table2": run_table2,
+        "table3": run_table3,
+        "table4": run_table4,
+        "fig1": run_fig1,
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+    }
+    results: Dict[str, object] = {}
+    for name in artifacts:
+        _LOGGER.info("assembling %s", name)
+        if name == "fig2":
+            results[name] = run_fig2()
+        elif name == "fig3":
+            results[name] = run_fig3()
+        else:
+            kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
+            kwargs.update(_dataset_kwargs(name, dataset))
+            if name in ENGINE_ARTIFACTS:
+                kwargs["engine"] = engine
+            results[name] = runners[name](**kwargs)
+
+    computed = engine.stats.misses - misses_before
+    return RunAllResult(
+        scale=scale,
+        seed=seed,
+        artifacts=results,
+        n_runs=len(graph),
+        hits=len(graph) - computed,
+        misses=computed,
+        elapsed_seconds=time.perf_counter() - started,
+    )

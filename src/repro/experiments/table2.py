@@ -13,15 +13,18 @@ reproduced claims (paper §IV-B1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.data.registry import load_dataset
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    resolve_engine,
+)
 from repro.experiments.paper_values import METRIC_KEYS, TABLE2
 from repro.experiments.reporting import format_table, rank_samplers, shape_report
-from repro.experiments.runner import run_spec
 
-__all__ = ["Table2Result", "run_table2", "SAMPLERS"]
+__all__ = ["Table2Result", "run_table2", "table2_requests", "SAMPLERS"]
 
 #: Table II's comparison set, in the paper's row order.
 SAMPLERS: Tuple[str, ...] = ("rns", "pns", "aobpr", "dns", "srns", "bns")
@@ -105,19 +108,18 @@ class Table2Result:
         )
 
 
-def run_table2(
-    scale: Scale = "bench",
-    seed: int = 0,
-    datasets: Sequence[str] = ("ml-100k",),
-    models: Sequence[str] = ("mf", "lightgcn"),
-    samplers: Sequence[str] = SAMPLERS,
-) -> Table2Result:
-    """Train every (dataset, model, sampler) combination and evaluate."""
+def _grid(
+    scale: Scale,
+    seed: int,
+    datasets: Sequence[str],
+    models: Sequence[str],
+    samplers: Sequence[str],
+) -> List[Tuple[Tuple[str, str, str], EngineRequest]]:
+    """The table's (cell, request) pairs in the paper's row order."""
     preset = scale_preset(scale)
-    metrics: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+    cells: List[Tuple[Tuple[str, str, str], EngineRequest]] = []
     for dataset_name in datasets:
         full_name = dataset_name + preset.dataset_suffix
-        dataset = load_dataset(full_name, seed=seed)
         for model in models:
             batch = (
                 preset.lightgcn_batch_size if model == "lightgcn" else preset.batch_size
@@ -132,6 +134,35 @@ def run_table2(
                     lr=preset.lr if model == "mf" else 0.01,
                     seed=seed,
                 )
-                result = run_spec(spec, dataset)
-                metrics[(dataset_name, model, sampler)] = result.metrics
+                cells.append(((dataset_name, model, sampler), EngineRequest(spec)))
+    return cells
+
+
+def table2_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    datasets: Sequence[str] = ("ml-100k",),
+    models: Sequence[str] = ("mf", "lightgcn"),
+    samplers: Sequence[str] = SAMPLERS,
+) -> List[EngineRequest]:
+    """The engine requests Table II consumes (for cache warming)."""
+    return [request for _, request in _grid(scale, seed, datasets, models, samplers)]
+
+
+def run_table2(
+    scale: Scale = "bench",
+    seed: int = 0,
+    datasets: Sequence[str] = ("ml-100k",),
+    models: Sequence[str] = ("mf", "lightgcn"),
+    samplers: Sequence[str] = SAMPLERS,
+    *,
+    engine: Optional[ExperimentEngine] = None,
+) -> Table2Result:
+    """Train (or recall) every (dataset, model, sampler) cell and evaluate."""
+    cells = _grid(scale, seed, datasets, models, samplers)
+    results = resolve_engine(engine).run_many([request for _, request in cells])
+    metrics = {
+        cell: dict(result.metrics)
+        for (cell, _), result in zip(cells, results)
+    }
     return Table2Result(scale=scale, metrics=metrics)

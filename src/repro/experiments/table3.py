@@ -13,15 +13,18 @@ reference, all on the same dataset/split with MF:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.data.registry import load_dataset
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    resolve_engine,
+)
 from repro.experiments.paper_values import METRIC_KEYS, TABLE3
 from repro.experiments.reporting import format_table, shape_report
-from repro.experiments.runner import run_spec
 
-__all__ = ["Table3Result", "run_table3", "TABLE3_SAMPLERS"]
+__all__ = ["Table3Result", "run_table3", "table3_requests", "TABLE3_SAMPLERS"]
 
 TABLE3_SAMPLERS = ("rns", "bns", "bns-1", "bns-2", "bns-3", "bns-4")
 
@@ -75,26 +78,44 @@ class Table3Result:
         )
 
 
+def table3_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    samplers: Sequence[str] = TABLE3_SAMPLERS,
+) -> List[EngineRequest]:
+    """One MF request per variant, all on the same dataset/split."""
+    preset = scale_preset(scale)
+    full_name = dataset_name + preset.dataset_suffix
+    return [
+        EngineRequest(
+            RunSpec(
+                dataset=full_name,
+                model="mf",
+                sampler=sampler,
+                epochs=preset.epochs,
+                batch_size=preset.batch_size,
+                lr=preset.lr,
+                seed=seed,
+            )
+        )
+        for sampler in samplers
+    ]
+
+
 def run_table3(
     scale: Scale = "bench",
     seed: int = 0,
     dataset_name: str = "ml-100k",
     samplers: Sequence[str] = TABLE3_SAMPLERS,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table3Result:
-    """Train each variant on the same dataset/split with MF."""
-    preset = scale_preset(scale)
-    full_name = dataset_name + preset.dataset_suffix
-    dataset = load_dataset(full_name, seed=seed)
-    metrics: Dict[str, Dict[str, float]] = {}
-    for sampler in samplers:
-        spec = RunSpec(
-            dataset=full_name,
-            model="mf",
-            sampler=sampler,
-            epochs=preset.epochs,
-            batch_size=preset.batch_size,
-            lr=preset.lr,
-            seed=seed,
-        )
-        metrics[sampler] = run_spec(spec, dataset).metrics
+    """Train (or recall) each variant on the same dataset/split with MF."""
+    requests = table3_requests(scale, seed, dataset_name, samplers)
+    results = resolve_engine(engine).run_many(requests)
+    metrics: Dict[str, Dict[str, float]] = {
+        sampler: dict(result.metrics)
+        for sampler, result in zip(samplers, results)
+    }
     return Table3Result(scale=scale, metrics=metrics)

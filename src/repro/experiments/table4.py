@@ -13,13 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.data.registry import load_dataset
 from repro.experiments.config import RunSpec, Scale, scale_preset
+from repro.experiments.engine import (
+    EngineRequest,
+    ExperimentEngine,
+    resolve_engine,
+)
 from repro.experiments.paper_values import METRIC_KEYS, TABLE4
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_spec
 
-__all__ = ["Table4Result", "run_table4"]
+__all__ = ["Table4Result", "run_table4", "table4_requests"]
 
 #: "all" encodes |M_u| = |I⁻_u| (the full candidate set).
 SizeSpec = Union[int, str]
@@ -69,34 +72,62 @@ class Table4Result:
         )
 
 
+def _resolve_sizes(
+    scale: Scale, sizes: Optional[Sequence[SizeSpec]]
+) -> Sequence[SizeSpec]:
+    if sizes is not None:
+        return sizes
+    return _BENCH_SIZES if scale == "bench" else _PAPER_SIZES
+
+
+def table4_requests(
+    scale: Scale = "bench",
+    seed: int = 0,
+    dataset_name: str = "ml-100k",
+    sizes: Optional[Sequence[SizeSpec]] = None,
+    weight: float = 5.0,
+) -> List[EngineRequest]:
+    """One oracle-prior BNS request per candidate-set size."""
+    preset = scale_preset(scale)
+    full_name = dataset_name + preset.dataset_suffix
+    requests = []
+    for size in _resolve_sizes(scale, sizes):
+        n_candidates = None if size == "all" else int(size)
+        requests.append(
+            EngineRequest(
+                RunSpec(
+                    dataset=full_name,
+                    model="mf",
+                    sampler="bns-oracle",
+                    sampler_kwargs=(
+                        ("n_candidates", n_candidates),
+                        ("weight", weight),
+                    ),
+                    epochs=preset.epochs,
+                    batch_size=preset.batch_size,
+                    lr=preset.lr,
+                    seed=seed,
+                )
+            )
+        )
+    return requests
+
+
 def run_table4(
     scale: Scale = "bench",
     seed: int = 0,
     dataset_name: str = "ml-100k",
     sizes: Optional[Sequence[SizeSpec]] = None,
     weight: float = 5.0,
+    *,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table4Result:
     """Sweep |M_u| for BNS with the oracle prior on a shared dataset."""
-    preset = scale_preset(scale)
-    if sizes is None:
-        sizes = _BENCH_SIZES if scale == "bench" else _PAPER_SIZES
-    full_name = dataset_name + preset.dataset_suffix
-    dataset = load_dataset(full_name, seed=seed)
-    metrics: Dict[str, Dict[str, float]] = {}
-    for size in sizes:
-        n_candidates = None if size == "all" else int(size)
-        spec = RunSpec(
-            dataset=full_name,
-            model="mf",
-            sampler="bns-oracle",
-            sampler_kwargs=(
-                ("n_candidates", n_candidates),
-                ("weight", weight),
-            ),
-            epochs=preset.epochs,
-            batch_size=preset.batch_size,
-            lr=preset.lr,
-            seed=seed,
-        )
-        metrics[str(size)] = run_spec(spec, dataset).metrics
+    sizes = _resolve_sizes(scale, sizes)
+    requests = table4_requests(scale, seed, dataset_name, sizes, weight)
+    results = resolve_engine(engine).run_many(requests)
+    metrics: Dict[str, Dict[str, float]] = {
+        str(size): dict(result.metrics)
+        for size, result in zip(sizes, results)
+    }
     return Table4Result(scale=scale, metrics=metrics)

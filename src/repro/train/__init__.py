@@ -9,6 +9,7 @@ observer-style callback protocol live here as well.
 
 from repro.train.callbacks import (
     Callback,
+    CheckpointCallback,
     EpochStats,
     EvaluationCallback,
     HistoryRecorder,
@@ -23,6 +24,7 @@ from repro.train.trainer import Trainer, TrainingConfig
 __all__ = [
     "Adam",
     "Callback",
+    "CheckpointCallback",
     "ConstantSchedule",
     "EarlyStopping",
     "EpochStats",

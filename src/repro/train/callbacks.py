@@ -9,7 +9,8 @@ consume.  Callbacks receive it via :meth:`Callback.on_epoch_end`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -19,8 +20,22 @@ __all__ = [
     "HistoryRecorder",
     "SampledTripleRecorder",
     "EvaluationCallback",
+    "CheckpointCallback",
     "LambdaCallback",
 ]
+
+
+def _as_eval_callable(evaluate: Callable[[object], dict]) -> Callable:
+    """Accept a callable or an Evaluator-like object with ``.evaluate``."""
+    if callable(evaluate):
+        return evaluate
+    bound = getattr(evaluate, "evaluate", None)
+    if bound is None or not callable(bound):
+        raise TypeError(
+            "evaluate must be a callable (model) -> dict or an object "
+            f"with an evaluate(model) method, got {type(evaluate).__name__}"
+        )
+    return bound
 
 
 @dataclass(frozen=True)
@@ -131,16 +146,7 @@ class EvaluationCallback(Callback):
     def __init__(self, evaluate: Callable[[object], dict], every: int = 10) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
-        if not callable(evaluate):
-            bound = getattr(evaluate, "evaluate", None)
-            if bound is None or not callable(bound):
-                raise TypeError(
-                    "evaluate must be a callable (model) -> dict or an object "
-                    "with an evaluate(model) method, got "
-                    f"{type(evaluate).__name__}"
-                )
-            evaluate = bound
-        self.evaluate = evaluate
+        self.evaluate = _as_eval_callable(evaluate)
         self.every = int(every)
         self.snapshots: List[tuple] = []
 
@@ -160,6 +166,94 @@ class EvaluationCallback(Callback):
         if not self.snapshots:
             raise RuntimeError("no evaluation snapshots recorded yet")
         return self.snapshots[-1][1]
+
+
+class CheckpointCallback(Callback):
+    """Persist the best model seen so far through ``models/persistence``.
+
+    Tracking modes:
+
+    * ``evaluate=None`` (default) — track the epoch's mean training loss
+      (lower is better).  Free: no extra evaluation passes, which is what
+      the experiment engine attaches when checkpointing is enabled
+      (``ExperimentEngine(save_models=True)`` / ``repro ... --save-models``)
+      so interrupted grids keep their best model on disk.
+    * ``evaluate=<callable or Evaluator>`` — track ``metric`` from the
+      evaluation result (higher is better under ``mode="max"``), e.g.
+      best-NDCG checkpointing for early-stopped training.
+
+    The model file is written atomically (temp + rename) so a crash
+    mid-save never corrupts the previous checkpoint.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        evaluate: Optional[Callable[[object], dict]] = None,
+        metric: str = "ndcg@20",
+        mode: Optional[str] = None,
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if mode is None:
+            mode = "min" if evaluate is None else "max"
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.path = Path(path)
+        self._evaluate = None if evaluate is None else _as_eval_callable(evaluate)
+        self.metric = metric
+        self.mode = mode
+        self.every = int(every)
+        self.best_value: Optional[float] = None
+        self.best_epoch: Optional[int] = None
+        self.n_saves = 0
+
+    def _value(self, stats: EpochStats, model) -> float:
+        if self._evaluate is None:
+            return float(stats.mean_loss)
+        result = self._evaluate(model)
+        if self.metric not in result:
+            raise KeyError(
+                f"metric {self.metric!r} not in evaluation result; "
+                f"available: {sorted(result)}"
+            )
+        return float(result[self.metric])
+
+    def _improved(self, value: float) -> bool:
+        if np.isnan(value):
+            # A diverged epoch must never become (or block) the best
+            # checkpoint: NaN compares False both ways, so without this
+            # guard a first-epoch NaN would freeze saving forever.
+            return False
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value
+        return value < self.best_value
+
+    def on_epoch_end(self, stats: EpochStats, model) -> None:
+        if (stats.epoch + 1) % self.every != 0:
+            return
+        value = self._value(stats, model)
+        if not self._improved(value):
+            return
+        from repro.models.persistence import save_model
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        staging = self.path.with_name(self.path.name + ".tmp")
+        save_model(model, staging)
+        # np.savez may append ".npz" when the suffix is missing.
+        written = (
+            staging
+            if staging.exists()
+            else staging.with_name(staging.name + ".npz")
+        )
+        written.replace(self.path)
+        self.best_value = value
+        self.best_epoch = stats.epoch
+        self.n_saves += 1
 
 
 class LambdaCallback(Callback):

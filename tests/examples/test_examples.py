@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Each ``examples/*.py`` is executed as a real subprocess (the way a user
+runs it) in its fastest supported mode, so the examples stay working
+code instead of dead documentation.  A new example must be registered
+here — the completeness check fails otherwise.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name → fastest-mode argv.
+FAST_MODE = {
+    "quickstart.py": [],
+    "contrastive_learning.py": [],
+    "theory_visualization.py": [],
+    "sampler_comparison.py": ["--scale", "unit"],
+    "prior_knowledge.py": ["--scale", "unit"],
+    "sampling_quality_study.py": ["--scale", "unit"],
+}
+
+
+def test_every_example_is_registered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_MODE), (
+        "examples/ and the smoke-test registry diverged; add new scripts "
+        "to FAST_MODE with a fast-mode argv"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FAST_MODE))
+def test_example_runs(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *FAST_MODE[name]],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed\n--- stdout ---\n{completed.stdout[-2000:]}"
+        f"\n--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{name} printed nothing"

@@ -1,0 +1,110 @@
+"""The parallel-vs-sequential determinism contract.
+
+Workers rebuild the dataset and the model from the spec with per-spec
+seeded RNG, so for the same run key the process-pool backend must return
+payloads **bitwise identical** to the sequential backend's — the strict
+contract every cached grid and every ``--workers N`` invocation relies
+on.
+"""
+
+import pytest
+
+from repro.experiments.config import RunSpec
+from repro.experiments.engine import (
+    EngineRequest,
+    ProcessPoolRunExecutor,
+    SequentialExecutor,
+    execute_request,
+)
+from repro.experiments.engine.jobs import JobGraph
+
+
+def _grid_requests():
+    """A small heterogeneous grid: samplers × seeds on the tiny dataset."""
+    requests = []
+    for sampler in ("rns", "bns", "dns"):
+        for seed in (0, 1):
+            requests.append(
+                EngineRequest(
+                    RunSpec(
+                        dataset="tiny",
+                        sampler=sampler,
+                        epochs=2,
+                        batch_size=16,
+                        seed=seed,
+                    )
+                )
+            )
+    return requests
+
+
+def _jobs(requests):
+    graph = JobGraph()
+    for request in requests:
+        graph.add(request)
+    return graph.jobs()
+
+
+class TestDeterminismContract:
+    def test_parallel_bitwise_equals_sequential(self):
+        jobs = _jobs(_grid_requests())
+        sequential = dict(SequentialExecutor().run(jobs))
+        parallel = dict(ProcessPoolRunExecutor(2).run(jobs))
+        assert set(sequential) == set(parallel)
+        for key in sequential:
+            # dict equality on float values is bitwise: no tolerance.
+            assert sequential[key]["metrics"] == parallel[key]["metrics"]
+            assert sequential[key]["loss_curve"] == parallel[key]["loss_curve"]
+
+    def test_recorder_payloads_identical(self):
+        request = EngineRequest(
+            RunSpec(dataset="tiny", sampler="bns", epochs=3, batch_size=16, seed=0),
+            record_sampling_quality=True,
+            distribution_epochs=(0, 2),
+            evaluate=False,
+        )
+        jobs = _jobs([request])
+        (key, seq_payload), = list(SequentialExecutor().run(jobs))
+        (pkey, par_payload), = list(ProcessPoolRunExecutor(2).run(jobs))
+        assert key == pkey
+        assert seq_payload == par_payload
+        assert seq_payload["sampling_quality"]["tnr"]
+        assert seq_payload["distributions"][0]["epoch"] == 0
+
+    def test_execute_request_is_pure(self):
+        """Two executions of one request agree bitwise (no hidden state)."""
+        request = _grid_requests()[1]
+        first = execute_request(request)
+        second = execute_request(request)
+        assert first == second
+
+
+class TestExecutorBehavior:
+    def test_sequential_preserves_job_order(self):
+        jobs = _jobs(_grid_requests()[:3])
+        keys = [key for key, _ in SequentialExecutor().run(jobs)]
+        assert keys == [job.key for job in jobs]
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunExecutor(0)
+
+    def test_payload_is_jsonable(self):
+        import json
+
+        request = EngineRequest(
+            RunSpec(dataset="tiny", sampler="rns", epochs=2, batch_size=16, seed=3),
+            record_sampling_quality=True,
+            distribution_epochs=(0,),
+        )
+        payload = execute_request(request)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_training_only_payload_has_empty_metrics(self):
+        request = EngineRequest(
+            RunSpec(dataset="tiny", sampler="rns", epochs=2, batch_size=16),
+            evaluate=False,
+        )
+        payload = execute_request(request)
+        assert payload["metrics"] == {}
+        assert len(payload["loss_curve"]) == 2

@@ -1,0 +1,142 @@
+"""Tests for the on-disk artifact store: hits, misses, corruption."""
+
+import json
+
+import pytest
+
+from repro.experiments.engine import CACHE_FORMAT_VERSION, ArtifactStore
+from repro.experiments.engine.store import default_cache_dir
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+REQUEST = {"spec": {"dataset": "tiny", "model": "mf", "sampler": "bns", "seed": 0}}
+PAYLOAD = {"metrics": {"ndcg@20": 0.5}, "loss_curve": [1.0, 0.5]}
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "cache")
+
+
+class TestStoreRoundTrip:
+    def test_miss_then_hit(self, store):
+        assert store.load(KEY_A) is None
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) == PAYLOAD
+        assert KEY_A in store
+        assert len(store) == 1
+
+    def test_keys_sorted(self, store):
+        store.store(KEY_B, REQUEST, PAYLOAD)
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.keys() == [KEY_A, KEY_B]
+
+    def test_versioned_layout(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.result_path(KEY_A).is_file()
+        assert f"v{CACHE_FORMAT_VERSION}" in str(store.result_path(KEY_A))
+        # sharded by key prefix
+        assert store.result_path(KEY_A).parent.parent.name == KEY_A[:2]
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed"):
+            store.load("../../etc/passwd")
+        with pytest.raises(ValueError, match="malformed"):
+            store.load("short")
+
+    def test_clear(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        store.store(KEY_B, REQUEST, PAYLOAD)
+        assert store.clear() == 2
+        assert store.keys() == []
+        assert store.load(KEY_A) is None
+
+
+class TestCorruptionRecovery:
+    def test_truncated_json_is_miss_and_evicted(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        store.result_path(KEY_A).write_text('{"format_version": 1, "key"')
+        assert store.load(KEY_A) is None
+        assert not store.entry_dir(KEY_A).exists()
+
+    def test_key_mismatch_is_miss(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        document = json.loads(store.result_path(KEY_A).read_text())
+        document["key"] = KEY_B
+        store.result_path(KEY_A).write_text(json.dumps(document))
+        assert store.load(KEY_A) is None
+
+    def test_foreign_format_version_is_miss(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        document = json.loads(store.result_path(KEY_A).read_text())
+        document["format_version"] = 999
+        store.result_path(KEY_A).write_text(json.dumps(document))
+        assert store.load(KEY_A) is None
+
+    def test_payload_without_metrics_is_miss(self, store):
+        store.store(KEY_A, REQUEST, {"loss_curve": []})
+        assert store.load(KEY_A) is None
+
+    def test_recovery_recomputes_cleanly(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        store.result_path(KEY_A).write_text("garbage")
+        assert store.load(KEY_A) is None
+        # the slot is usable again after eviction
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) == PAYLOAD
+
+
+class TestEntries:
+    def test_entries_metadata(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        (entry,) = store.entries()
+        assert entry.key == KEY_A
+        assert entry.label == "tiny/mf/bns"
+        assert entry.seed == 0
+        assert entry.size_bytes > 0
+        assert not entry.has_model
+
+    def test_default_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro-bns"
+
+
+class TestRequestSidecar:
+    def test_sidecar_written_and_preferred(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        sidecar = store.entry_dir(KEY_A) / "request.json"
+        assert sidecar.is_file()
+        (entry,) = store.entries()
+        assert entry.label == "tiny/mf/bns"
+
+    def test_entries_fall_back_without_sidecar(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        (store.entry_dir(KEY_A) / "request.json").unlink()
+        (entry,) = store.entries()
+        assert entry.label == "tiny/mf/bns"
+
+    def test_transient_read_error_is_miss_without_eviction(self, store, monkeypatch):
+        from pathlib import Path
+
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        real_read_text = Path.read_text
+
+        def flaky_read_text(self, *args, **kwargs):
+            if self.name == "result.json":
+                raise OSError("stale NFS handle")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", flaky_read_text)
+        assert store.load(KEY_A) is None  # miss, not an error
+        monkeypatch.undo()
+        # the entry survived the transient failure
+        assert store.load(KEY_A) == PAYLOAD
+
+    def test_binary_garbage_is_evicted(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        store.result_path(KEY_A).write_bytes(b"\xff\xfe\x00garbage")
+        assert store.load(KEY_A) is None
+        assert not store.entry_dir(KEY_A).exists()

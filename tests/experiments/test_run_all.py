@@ -1,0 +1,84 @@
+"""Tests for the run-all orchestration (shared cache across artifacts)."""
+
+import pytest
+
+from repro.experiments.engine import ArtifactStore, ExperimentEngine
+from repro.experiments.run_all import (
+    ALL_ARTIFACTS,
+    ENGINE_ARTIFACTS,
+    gather_requests,
+    run_all,
+)
+
+# Fast subset that still exercises training (fig5 shares a run with
+# itself across sweeps), a train-free table, and an analytic figure.
+SUBSET = ("table3", "fig2", "fig3")
+
+
+class TestGatherRequests:
+    def test_covers_every_engine_artifact(self):
+        requests = gather_requests(scale="unit", seed=0)
+        assert len(requests) > 10
+        datasets = {request.spec.dataset for request in requests}
+        assert datasets  # all artifacts contribute specs
+
+    def test_train_free_artifacts_contribute_nothing(self):
+        assert gather_requests(scale="unit", artifacts=("table1", "fig2")) == []
+
+    def test_engine_artifacts_subset_of_all(self):
+        assert set(ENGINE_ARTIFACTS) < set(ALL_ARTIFACTS)
+
+
+class TestRunAll:
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ValueError, match="unknown artifacts"):
+            run_all(artifacts=("table9",))
+
+    def test_subset_produces_results(self, tmp_path):
+        engine = ExperimentEngine(ArtifactStore(tmp_path))
+        result = run_all(
+            scale="unit", seed=0, artifacts=SUBSET, dataset="tiny", engine=engine
+        )
+        assert set(result.artifacts) == set(SUBSET)
+        assert "Table III" in result.artifacts["table3"].format()
+        assert result.n_runs == result.hits + result.misses
+        assert result.misses > 0  # cold cache: something trained
+        assert "unique training runs" in result.format_summary()
+
+    def test_second_invocation_all_hits(self, tmp_path):
+        store_root = tmp_path / "cache"
+        run_all(
+            scale="unit",
+            seed=0,
+            artifacts=SUBSET,
+            dataset="tiny",
+            engine=ExperimentEngine(ArtifactStore(store_root)),
+        )
+        warm_engine = ExperimentEngine(ArtifactStore(store_root))
+        warm = run_all(
+            scale="unit",
+            seed=0,
+            artifacts=SUBSET,
+            dataset="tiny",
+            engine=warm_engine,
+        )
+        assert warm.misses == 0
+        assert warm.hits == warm.n_runs
+
+    def test_cold_and_warm_results_identical(self, tmp_path):
+        store_root = tmp_path / "cache"
+        cold = run_all(
+            scale="unit",
+            seed=0,
+            artifacts=("table3",),
+            dataset="tiny",
+            engine=ExperimentEngine(ArtifactStore(store_root)),
+        )
+        warm = run_all(
+            scale="unit",
+            seed=0,
+            artifacts=("table3",),
+            dataset="tiny",
+            engine=ExperimentEngine(ArtifactStore(store_root)),
+        )
+        assert warm.artifacts["table3"].metrics == cold.artifacts["table3"].metrics

@@ -32,7 +32,32 @@ class TestRunReplicated:
         result = run_replicated(SPEC, n_seeds=2)
         summary = result.summary()
         assert "ndcg@20" in summary
-        assert set(summary["ndcg@20"]) == {"mean", "std"}
+        assert set(summary["ndcg@20"]) == {"mean", "std", "per_seed"}
+
+    def test_summary_per_seed_values_exportable(self):
+        """Per-seed raw values ride along, aligned with the seeds."""
+        import json
+
+        import numpy as np
+
+        result = run_replicated(SPEC, n_seeds=3)
+        summary = result.summary()
+        per_seed = summary["ndcg@20"]["per_seed"]
+        assert len(per_seed) == 3
+        assert per_seed == [run["ndcg@20"] for run in result.per_seed]
+        assert summary["ndcg@20"]["mean"] == pytest.approx(np.mean(per_seed))
+        json.dumps(summary)  # fully exportable
+
+    def test_replication_shares_engine_cache(self):
+        """Replications route through the engine: repeats cost nothing."""
+        from repro.experiments.engine import ExperimentEngine
+
+        engine = ExperimentEngine()
+        first = run_replicated(SPEC, n_seeds=2, engine=engine)
+        assert engine.stats.misses == 2
+        second = run_replicated(SPEC, n_seeds=2, engine=engine)
+        assert engine.stats.misses == 2  # all hits the second time
+        assert second.per_seed == first.per_seed
 
     def test_unknown_metric(self):
         result = run_replicated(SPEC, n_seeds=2)

@@ -83,3 +83,116 @@ class TestSublinearFlags:
         )
         assert code == 0
         assert "ndcg" in capsys.readouterr().out
+
+
+class TestOrchestrationFlags:
+    def test_experiment_engine_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["experiment", "table2", "--workers", "4", "--cache-dir", "/tmp/c",
+             "--no-cache", "--datasets", "tiny", "ml-100k"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.datasets == ["tiny", "ml-100k"]
+
+    def test_run_all_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run-all", "--scale", "unit", "--artifacts", "fig2", "fig3",
+             "--dataset", "tiny", "--workers", "2"]
+        )
+        assert args.artifacts == ["fig2", "fig3"]
+        assert args.dataset == "tiny"
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestEngineCommands:
+    def test_experiment_with_cache_and_workers(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ["experiment", "table3", "--scale", "unit", "--datasets", "tiny",
+                "--cache-dir", cache]
+        assert main(argv + ["--workers", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "Table III" in first
+
+        # warm rerun (sequential) assembles from cache, identical output
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_experiment_no_cache_writes_nothing(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["experiment", "table3", "--scale", "unit", "--datasets", "tiny",
+             "--cache-dir", str(cache), "--no-cache"]
+        ) == 0
+        assert not cache.exists()
+
+    def test_run_all_analytic_subset(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--scale", "unit", "--artifacts", "fig2", "fig3",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--output-dir", str(tmp_path / "out")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "unbias" in out
+        assert "run-all:" in out
+        assert (tmp_path / "out" / "fig2.txt").is_file()
+        assert (tmp_path / "out" / "fig3.txt").is_file()
+
+    def test_cache_ls_and_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+        main(["experiment", "table3", "--scale", "unit", "--datasets", "tiny",
+              "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        listing = capsys.readouterr().out
+        assert "tiny/mf/bns" in listing
+        assert "cached runs" in listing
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+
+class TestArtifactRegistry:
+    def test_cli_engine_artifacts_match_run_all(self):
+        from repro.cli import _ENGINE_ARTIFACTS
+        from repro.experiments.run_all import ALL_ARTIFACTS, ENGINE_ARTIFACTS
+
+        assert _ENGINE_ARTIFACTS == frozenset(ENGINE_ARTIFACTS)
+        from repro.cli import _ARTIFACTS
+
+        assert set(_ARTIFACTS) == set(ALL_ARTIFACTS)
+
+
+class TestSaveModels:
+    def test_save_models_checkpoints_into_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["experiment", "table3", "--scale", "unit", "--datasets", "tiny",
+             "--cache-dir", cache, "--save-models"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        listing = capsys.readouterr().out
+        assert "yes" in listing  # model? column
+
+    def test_save_models_rejects_no_cache(self, tmp_path):
+        with pytest.raises(SystemExit, match="save-models"):
+            main(
+                ["experiment", "table3", "--scale", "unit", "--datasets",
+                 "tiny", "--no-cache", "--save-models"]
+            )
+
+    def test_fig2_notes_ignored_flags(self, capsys):
+        assert main(["experiment", "fig2", "--workers", "3",
+                     "--datasets", "tiny"]) == 0
+        err = capsys.readouterr().err
+        assert "no effect" in err

@@ -125,3 +125,124 @@ class TestLambdaCallback:
 
     def test_missing_hooks_noop(self):
         LambdaCallback().on_epoch_end(make_stats(), model=None)
+
+
+class TestCheckpointCallback:
+    @staticmethod
+    def make_model():
+        from repro.models.mf import MatrixFactorization
+
+        return MatrixFactorization(4, 8, n_factors=3, seed=0)
+
+    @staticmethod
+    def make_loss_stats(epoch, loss):
+        stats = make_stats(epoch=epoch)
+        return EpochStats(
+            epoch=stats.epoch,
+            users=stats.users,
+            pos_items=stats.pos_items,
+            neg_items=stats.neg_items,
+            info=stats.info,
+            mean_loss=loss,
+            lr=stats.lr,
+            duration_seconds=stats.duration_seconds,
+        )
+
+    def test_saves_on_loss_improvement(self, tmp_path):
+        from repro.models.persistence import load_model
+        from repro.train.callbacks import CheckpointCallback
+
+        model = self.make_model()
+        callback = CheckpointCallback(tmp_path / "best.npz")
+        callback.on_epoch_end(self.make_loss_stats(0, 0.9), model)
+        assert callback.n_saves == 1 and callback.best_epoch == 0
+
+        marker = model.user_factors.copy()
+        callback.on_epoch_end(self.make_loss_stats(1, 0.5), model)
+        assert callback.n_saves == 2 and callback.best_epoch == 1
+        assert callback.best_value == pytest.approx(0.5)
+
+        # worse loss: no save, checkpoint still holds the epoch-1 model
+        model.user_factors[:] += 1.0
+        callback.on_epoch_end(self.make_loss_stats(2, 0.8), model)
+        assert callback.n_saves == 2
+        restored = load_model(tmp_path / "best.npz")
+        np.testing.assert_array_equal(restored.user_factors, marker)
+
+    def test_metric_mode_with_evaluator(self, tmp_path):
+        from repro.train.callbacks import CheckpointCallback
+
+        values = iter([0.3, 0.6, 0.4])
+        callback = CheckpointCallback(
+            tmp_path / "best.npz",
+            evaluate=lambda model: {"ndcg@20": next(values)},
+            metric="ndcg@20",
+        )
+        model = self.make_model()
+        for epoch in range(3):
+            callback.on_epoch_end(self.make_loss_stats(epoch, 1.0), model)
+        assert callback.best_epoch == 1
+        assert callback.best_value == pytest.approx(0.6)
+        assert callback.n_saves == 2
+
+    def test_missing_metric_raises(self, tmp_path):
+        from repro.train.callbacks import CheckpointCallback
+
+        callback = CheckpointCallback(
+            tmp_path / "best.npz", evaluate=lambda model: {"other": 1.0}
+        )
+        with pytest.raises(KeyError, match="not in evaluation result"):
+            callback.on_epoch_end(self.make_loss_stats(0, 1.0), self.make_model())
+
+    def test_every_skips_epochs(self, tmp_path):
+        from repro.train.callbacks import CheckpointCallback
+
+        callback = CheckpointCallback(tmp_path / "best.npz", every=2)
+        model = self.make_model()
+        callback.on_epoch_end(self.make_loss_stats(0, 0.9), model)  # skipped
+        assert callback.n_saves == 0
+        callback.on_epoch_end(self.make_loss_stats(1, 0.9), model)  # epoch 2
+        assert callback.n_saves == 1
+
+    def test_validation(self, tmp_path):
+        from repro.train.callbacks import CheckpointCallback
+
+        with pytest.raises(ValueError, match="every"):
+            CheckpointCallback(tmp_path / "x.npz", every=0)
+        with pytest.raises(ValueError, match="mode"):
+            CheckpointCallback(tmp_path / "x.npz", mode="sideways")
+        with pytest.raises(TypeError, match="evaluate"):
+            CheckpointCallback(tmp_path / "x.npz", evaluate=object())
+
+    def test_works_inside_trainer(self, tmp_path, tiny_dataset):
+        from repro.models.mf import MatrixFactorization
+        from repro.models.persistence import load_model
+        from repro.samplers.variants import make_sampler
+        from repro.train.callbacks import CheckpointCallback
+        from repro.train.trainer import Trainer, TrainingConfig
+
+        model = MatrixFactorization(
+            tiny_dataset.n_users, tiny_dataset.n_items, n_factors=4, seed=0
+        )
+        callback = CheckpointCallback(tmp_path / "ckpt.npz")
+        Trainer(
+            model,
+            tiny_dataset,
+            make_sampler("rns"),
+            TrainingConfig(epochs=3, batch_size=16, seed=0),
+            callbacks=[callback],
+        ).fit()
+        assert callback.n_saves >= 1
+        restored = load_model(tmp_path / "ckpt.npz")
+        assert restored.user_factors.shape == model.user_factors.shape
+
+    def test_nan_never_becomes_or_blocks_best(self, tmp_path):
+        from repro.train.callbacks import CheckpointCallback
+
+        callback = CheckpointCallback(tmp_path / "best.npz")
+        model = self.make_model()
+        callback.on_epoch_end(self.make_loss_stats(0, float("nan")), model)
+        assert callback.n_saves == 0 and callback.best_value is None
+        callback.on_epoch_end(self.make_loss_stats(1, 0.5), model)
+        assert callback.n_saves == 1
+        assert callback.best_value == pytest.approx(0.5)
