@@ -27,6 +27,7 @@ from repro.data.registry import load_dataset
 from repro.models.mf import MatrixFactorization
 from repro.samplers.base import ScoreRequest
 from repro.samplers.variants import make_sampler
+from repro.utils.rng import as_rng
 from repro.train.trainer import TrainingConfig
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_samplers.json"
@@ -158,7 +159,7 @@ def test_batched_vs_scalar_speedup():
     model = MatrixFactorization(
         dataset.n_users, dataset.n_items, n_factors=32, seed=0
     )
-    batch_rng = np.random.default_rng(7)
+    batch_rng = as_rng(7)
     min_batch = TrainingConfig().batched_sampling_min_batch
     results = {name: {} for name in COMPARED_SAMPLERS}
     for size in BATCH_SIZES:
@@ -174,7 +175,7 @@ def test_batched_vs_scalar_speedup():
     # up the RNG-parity contract.  Recording it alongside the parity-bound
     # RNS path documents exactly what the contract costs.
     users_1024, _ = _mixed_batch(dataset, batch_rng, 1024)
-    rows_rng = np.random.default_rng(0)
+    rows_rng = as_rng(0)
     nonparity_seconds = _best_seconds(
         lambda: dataset.train.sample_negatives_rows(users_1024, rows_rng), 20
     )

@@ -1,0 +1,56 @@
+"""Static analysis for the reproduction's non-negotiable invariants.
+
+The test suite can only spot-check properties like RNG parity, run-key
+coverage and executor purity; this package turns them into lint rules
+that reject a violating diff outright (``repro lint``, blocking in CI):
+
+=====  ===============================  =====================================
+R001   no-global-RNG                    randomness flows through explicit
+                                        ``numpy.random.Generator`` params
+R002   no-wallclock-in-keyed-paths      ``experiments/engine/`` + ``samplers/``
+                                        are pure functions of (spec, seed)
+R003   run-key-coverage                 every ``RunSpec``/``EngineRequest``
+                                        field participates in ``run_key``
+R004   sampler-contract                 registered samplers define
+                                        ``score_request``/``sample_batch`` and
+                                        carry RNG-parity test coverage
+R005   nondeterministic-iteration       unordered-set order never reaches
+                                        arrays, serialization or output
+=====  ===============================  =====================================
+
+Findings are suppressed line-by-line with ``# repro: noqa[Rxxx] -- why``;
+the justification is mandatory (rule R000 flags bare suppressions).
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.framework import (
+    LintContext,
+    ModuleFile,
+    Rule,
+    register,
+    rule_registry,
+    run_rules,
+)
+from repro.analysis.runner import (
+    LintReport,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_sources,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "ModuleFile",
+    "Rule",
+    "Severity",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_sources",
+    "register",
+    "rule_registry",
+    "run_rules",
+]

@@ -1,0 +1,82 @@
+"""Lint findings as value objects.
+
+A :class:`Diagnostic` is one finding of one rule at one source location.
+Findings are plain data — the framework produces them, the runner sorts,
+filters (suppressions) and renders them — so the two output formats
+(human ``text`` and machine ``json``) are views over the same objects and
+tests can assert on structure instead of scraping output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity:
+    """Diagnostic severities (plain strings so they are trivially jsonable).
+
+    ``ERROR`` findings fail the lint run (exit code 1); ``WARNING``
+    findings are reported but do not block.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: *rule* fired at *path:line:col* with a message.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``R001``..``R005``, or ``R000`` for malformed
+        suppression comments).
+    severity:
+        One of :class:`Severity` (``"error"`` / ``"warning"``).
+    path:
+        Path of the offending file, as given to the linter (repo-relative
+        in CI runs).
+    line, col:
+        1-based line and 0-based column of the finding (ast conventions).
+    message:
+        What is wrong, phrased against the invariant the rule guards.
+    hint:
+        How to fix it (or how to suppress it with a justification).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: Optional[str] = None
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """One ``path:line:col: RULE message`` line (plus an indented hint)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        """The stable machine-readable shape (pinned by the schema test)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,197 @@
+"""Rule framework: parsed modules, the rule registry, and the lint core.
+
+Rules come in two shapes:
+
+* **file rules** override :meth:`Rule.check_file` and see one parsed
+  module at a time (R001, R002, R005 — local syntactic properties);
+* **project rules** override :meth:`Rule.check_project` and see the whole
+  parsed file set at once (R003, R004 — cross-file contracts such as
+  "every dataclass field is folded into the run key").
+
+Both produce :class:`~repro.analysis.diagnostics.Diagnostic` values;
+the core applies ``# repro: noqa`` suppressions afterwards, so rules never
+need to know about them.  Registration is declarative::
+
+    @register
+    class MyRule(Rule):
+        id = "R042"
+        ...
+
+and the registry is the single source the CLI's ``--rules`` filter, the
+README rule table test, and the meta-tests enumerate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = [
+    "ModuleFile",
+    "LintContext",
+    "Rule",
+    "register",
+    "rule_registry",
+    "run_rules",
+    "parse_module",
+]
+
+
+@dataclass(frozen=True)
+class ModuleFile:
+    """One parsed source file.
+
+    ``path`` is the display path (what diagnostics cite); ``relpath`` is
+    the same path in posix form, used by rules for scope decisions (e.g.
+    R002 only applies under ``experiments/engine/`` and ``samplers/``).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def relpath(self) -> str:
+        return Path(self.path).as_posix()
+
+
+@dataclass
+class LintContext:
+    """Run-wide facts rules may consult.
+
+    ``root`` anchors repo-layout lookups (R004 locates the RNG-parity
+    test file under ``<root>/tests/property/``); it defaults to the
+    current working directory, matching how CI invokes ``repro lint``
+    from the repository root.
+    """
+
+    root: Path = field(default_factory=Path.cwd)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and override one (or both) of the
+    check hooks.  ``invariant`` is the one-line statement of *what
+    property of the codebase the rule protects* — it is surfaced by
+    ``repro lint --rules help`` style listings and the README table.
+    """
+
+    id: str = "R000"
+    severity: str = Severity.ERROR
+    title: str = ""
+    invariant: str = ""
+
+    def check_file(
+        self, module: ModuleFile, context: LintContext
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleFile], context: LintContext
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by concrete rules
+    # ------------------------------------------------------------------ #
+
+    def diagnostic(
+        self,
+        module_path: str,
+        node_or_line,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Diagnostic:
+        """Build a finding of this rule at an ast node (or a bare line)."""
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        return Diagnostic(
+            rule=self.id,
+            severity=self.severity,
+            path=module_path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry (id-keyed)."""
+    if not rule_cls.id or rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate or empty rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def rule_registry() -> Dict[str, Type[Rule]]:
+    """Registered rules, id → class (importing the rule modules fills it)."""
+    # Import for the registration side effect; idempotent.
+    import repro.analysis.contracts  # noqa: F401  (registration import)
+    import repro.analysis.determinism  # noqa: F401  (registration import)
+
+    return dict(_REGISTRY)
+
+
+def parse_module(path: str, source: str) -> Optional[ModuleFile]:
+    """Parse one file; ``None`` signals a syntax error (reported upstream)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    return ModuleFile(path=path, source=source, tree=tree)
+
+
+def run_rules(
+    modules: Sequence[ModuleFile],
+    context: Optional[LintContext] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Run the (selected) rules over parsed modules; apply suppressions.
+
+    ``rules`` filters by id (``None`` runs everything registered).  The
+    returned list is sorted by ``(path, line, col, rule)`` and already has
+    justified suppressions removed — malformed suppressions surface as
+    ``R000`` findings instead.
+    """
+    context = context or LintContext()
+    registry = rule_registry()
+    selected = set(rules) if rules is not None else set(registry)
+    unknown = sorted(selected - set(registry))
+    if unknown:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown rule id(s) {unknown}; known rules: {known}")
+    active = [registry[rule_id]() for rule_id in sorted(selected)]
+
+    raw: List[Diagnostic] = []
+    for rule in active:
+        for module in modules:
+            raw.extend(rule.check_file(module, context))
+        raw.extend(rule.check_project(modules, context))
+
+    kept: List[Diagnostic] = []
+    suppression_cache = {}
+    for module in modules:
+        suppressions, bad_noqa = parse_suppressions(module.source, module.path)
+        suppression_cache[module.path] = suppressions
+        kept.extend(bad_noqa)
+    for finding in raw:
+        suppressions = suppression_cache.get(finding.path)
+        if suppressions is not None and suppressions.covers(
+            finding.rule, finding.line
+        ):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda d: d.sort_key)

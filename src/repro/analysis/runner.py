@@ -1,0 +1,171 @@
+"""Lint entry points: collect files, run rules, render results.
+
+This is what ``repro lint`` calls and what tests drive directly:
+:func:`lint_paths` for real trees, :func:`lint_sources` for in-memory
+fixture snippets (rule tests never touch the filesystem).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.framework import (
+    LintContext,
+    ModuleFile,
+    parse_module,
+    rule_registry,
+    run_rules,
+)
+
+__all__ = [
+    "LintReport",
+    "collect_files",
+    "lint_paths",
+    "lint_sources",
+    "format_text",
+    "format_json",
+]
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no error-severity findings remain after suppressions."""
+        return 1 if self.errors else 0
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under *paths* (files pass through), sorted."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            found.append(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                found.append(candidate)
+    return sorted(set(found))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint every python file under *paths* with the (selected) rules."""
+    files = collect_files([Path(p) for p in paths])
+    modules: List[ModuleFile] = []
+    broken: List[Diagnostic] = []
+    for file_path in files:
+        display = _display_path(file_path, root)
+        module = parse_module(display, file_path.read_text(encoding="utf-8"))
+        if module is None:
+            broken.append(
+                Diagnostic(
+                    rule="E999",
+                    severity=Severity.ERROR,
+                    path=display,
+                    line=1,
+                    col=0,
+                    message="file does not parse as python; fix the syntax "
+                    "error before linting",
+                )
+            )
+            continue
+        modules.append(module)
+    context = LintContext(root=root if root is not None else Path.cwd())
+    diagnostics = sorted(
+        run_rules(modules, context, rules) + broken, key=lambda d: d.sort_key
+    )
+    return LintReport(diagnostics=diagnostics, files_checked=len(files))
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    *,
+    rules: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint in-memory ``{path: source}`` snippets (the fixture-test seam).
+
+    Paths are virtual but meaningful: rules scope themselves by path
+    (R002 only fires under ``experiments/engine/``/``samplers/``), so a
+    fixture chooses its scope by naming itself accordingly.
+    """
+    modules: List[ModuleFile] = []
+    for path in sorted(sources):
+        module = parse_module(path, sources[path])
+        if module is None:
+            raise SyntaxError(f"fixture source {path!r} does not parse")
+        modules.append(module)
+    context = LintContext(root=root if root is not None else Path.cwd())
+    return run_rules(modules, context, rules)
+
+
+def _display_path(file_path: Path, root: Optional[Path]) -> str:
+    """Repo-relative posix path when possible (stable diagnostics in CI)."""
+    bases = [root, Path.cwd()] if root is not None else [Path.cwd()]
+    resolved = file_path.resolve()
+    for base in bases:
+        try:
+            return resolved.relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            continue
+    return file_path.as_posix()
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable listing plus a one-line summary."""
+    lines = [diagnostic.format() for diagnostic in report.diagnostics]
+    n_errors = len(report.errors)
+    n_warnings = len(report.diagnostics) - n_errors
+    summary = (
+        f"{report.files_checked} files checked: "
+        f"{n_errors} error(s), {n_warnings} warning(s)"
+    )
+    if not report.diagnostics:
+        summary = f"{report.files_checked} files checked: clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable output (schema pinned by tests)."""
+    payload: Dict[str, object] = {
+        "files_checked": report.files_checked,
+        "errors": len(report.errors),
+        "warnings": len(report.diagnostics) - len(report.errors),
+        "diagnostics": [d.to_json() for d in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def describe_rules() -> str:
+    """The registered rule table (id, title, severity, invariant)."""
+    lines = []
+    for rule_id, rule_cls in sorted(rule_registry().items()):
+        lines.append(
+            f"{rule_id}  {rule_cls.title:<32} [{rule_cls.severity}]  "
+            f"{rule_cls.invariant}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""``# repro: noqa[RULE]`` suppression comments.
+
+A finding is suppressed by putting, **on the line it is reported at**::
+
+    risky_call()  # repro: noqa[R002] -- wallclock feeds the log only
+
+The justification after ``--`` is mandatory: a suppression without one is
+itself a finding (rule ``R000``), so the tree can never accumulate silent
+opt-outs.  Multiple rules may be listed (``noqa[R001,R005]``); each gets
+the same justification.  Plain ``# noqa`` comments (flake8 style) are not
+honoured — the repo-invariant rules are deliberately harder to mute than
+style lints.
+
+Comments are found with :mod:`tokenize` rather than a regex over lines,
+so a ``repro: noqa`` inside a string literal (e.g. in this package's own
+test fixtures) never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+#: The comment grammar: ``repro: noqa[R001]`` (one or more comma-separated
+#: rule ids in the brackets), optionally followed by ``-- justification``.
+#: Written without the leading hash here so this very comment is not
+#: parsed as a suppression.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]"
+    r"(?P<rest>.*)$"
+)
+_JUSTIFIED = re.compile(r"^\s*--\s*\S")
+
+
+class Suppressions:
+    """Per-line rule suppressions of one file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self._by_line.get(line, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[Suppressions, List[Diagnostic]]:
+    """Extract suppressions from *source*; malformed ones become findings.
+
+    Returns ``(suppressions, diagnostics)`` where *diagnostics* holds one
+    ``R000`` error per ``repro: noqa`` comment lacking a justification
+    (those comments suppress nothing).
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    findings: List[Diagnostic] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The caller only lints files that already parsed; a tokenize
+        # failure here would be a bug upstream, not a user error.
+        return Suppressions({}), findings
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA.search(token.string)
+        if match is None:
+            continue
+        line, col = token.start
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",")
+        )
+        if not _JUSTIFIED.match(match.group("rest")):
+            findings.append(
+                Diagnostic(
+                    rule="R000",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        "suppression without justification: "
+                        f"`# repro: noqa[{', '.join(sorted(rules))}]` must be "
+                        "followed by ` -- <why this violation is safe>`"
+                    ),
+                    hint="e.g. `# repro: noqa[R002] -- timestamp is "
+                    "provenance metadata, never keyed`",
+                )
+            )
+            continue
+        by_line[line] = by_line.get(line, frozenset()) | rules
+    return Suppressions(by_line), findings

@@ -15,6 +15,10 @@ Commands
     Execute every paper artifact off one shared run cache.
 ``cache``
     Inspect (``ls``) or delete (``clear``) the run cache.
+``lint``
+    Run the repo-invariant static analyzer (rules R001–R005: global RNG,
+    wallclock in keyed paths, run-key coverage, sampler contracts,
+    unordered iteration).  Exit code 1 on any unsuppressed error.
 """
 
 from __future__ import annotations
@@ -163,6 +167,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(run_all)
 
+    lint = commands.add_parser(
+        "lint", help="check the tree against the repo's determinism/"
+        "cache-key/sampler invariants (R001–R005)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule subset (e.g. R001,R005); default: all",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is schema-stable for tooling)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        metavar="PATH",
+        help="repository root for cross-file lookups (default: cwd); "
+        "R004 finds tests/property/ under it",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and their invariants, then exit",
+    )
+
     cache = commands.add_parser("cache", help="inspect or clear the run cache")
     cache_actions = cache.add_subparsers(dest="cache_command", required=True)
     cache_ls = cache_actions.add_parser("ls", help="list cached runs")
@@ -291,6 +331,34 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import (
+        describe_rules,
+        format_json,
+        format_text,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    rules = None
+    if args.rules:
+        rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+    root = Path(args.root) if args.root else None
+    try:
+        report = lint_paths(
+            [Path(p) for p in args.paths], rules=rules, root=root
+        )
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error))
+    formatted = (
+        format_json(report) if args.format == "json" else format_text(report)
+    )
+    print(formatted)
+    return report.exit_code
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _resolve_store(args.cache_dir)
     if args.cache_command == "ls":
@@ -322,6 +390,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "experiment": _cmd_experiment,
     "run-all": _cmd_run_all,
     "cache": _cmd_cache,
+    "lint": _cmd_lint,
 }
 
 

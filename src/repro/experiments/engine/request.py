@@ -14,17 +14,56 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Optional, Tuple
 
 from repro.experiments.config import RunSpec
 
-__all__ = ["CACHE_FORMAT_VERSION", "EngineRequest", "run_key", "canonical_payload"]
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "KEYED_REQUEST_FIELDS",
+    "KEYED_SPEC_FIELDS",
+    "EngineRequest",
+    "run_key",
+    "canonical_payload",
+]
 
 #: Bump whenever the request canonicalization or the payload schema
 #: changes; old cache entries become unreachable (new keys + new store
 #: subdirectory) rather than silently mis-read.
 CACHE_FORMAT_VERSION = 1
+
+#: Run-key coverage manifests — the introspection hook for ``repro lint``
+#: rule R003 and for :func:`_check_key_coverage` below.  Every dataclass
+#: field of :class:`~repro.experiments.config.RunSpec` (resp.
+#: :class:`EngineRequest`) must be listed in the matching tuple; the lint
+#: rule pins the tuples to the dataclass definitions *statically* (a new
+#: field fails ``repro lint`` on its own line) and the runtime guard pins
+#: them to the live dataclasses, so the manifest can neither lag nor lie.
+KEYED_SPEC_FIELDS: Tuple[str, ...] = (
+    "dataset",
+    "model",
+    "sampler",
+    "sampler_kwargs",
+    "epochs",
+    "batch_size",
+    "lr",
+    "reg",
+    "n_factors",
+    "seed",
+    "ks",
+    "cdf",
+    "batched_sampling_min_batch",
+)
+KEYED_REQUEST_FIELDS: Tuple[str, ...] = (
+    "spec",
+    "dataset_seed",
+    "record_sampling_quality",
+    "distribution_epochs",
+    "evaluate",
+    "eval_batched",
+    "eval_chunk_users",
+)
 
 
 @dataclass(frozen=True)
@@ -72,8 +111,40 @@ def _jsonable_scalar(value, context: str):
     )
 
 
+_COVERAGE_CHECKED = False
+
+
+def _check_key_coverage() -> None:
+    """Assert the manifests match the live dataclasses (once per process).
+
+    ``repro lint`` enforces the same equality statically; this runtime
+    guard covers code paths that bypass lint (installed packages, REPL
+    experimentation) so a drifted manifest fails fast instead of hashing
+    an incomplete key.
+    """
+    global _COVERAGE_CHECKED
+    if _COVERAGE_CHECKED:
+        return
+    for cls, manifest, name in (
+        (RunSpec, KEYED_SPEC_FIELDS, "KEYED_SPEC_FIELDS"),
+        (EngineRequest, KEYED_REQUEST_FIELDS, "KEYED_REQUEST_FIELDS"),
+    ):
+        actual = {f.name for f in fields(cls)}
+        declared = set(manifest)
+        if actual != declared:
+            missing = sorted(actual - declared)
+            stale = sorted(declared - actual)
+            raise RuntimeError(
+                f"run-key coverage manifest {name} is out of sync with "
+                f"{cls.__name__}: missing={missing} stale={stale}; fold "
+                "new fields into canonical_payload and update the manifest"
+            )
+    _COVERAGE_CHECKED = True
+
+
 def canonical_payload(request: EngineRequest) -> dict:
     """The exact dict that is hashed into the run key (stable ordering)."""
+    _check_key_coverage()
     spec_fields = asdict(request.spec)
     spec_fields["sampler_kwargs"] = [
         [str(name), _jsonable_scalar(value, f"sampler_kwargs[{name!r}]")]

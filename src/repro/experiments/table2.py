@@ -60,7 +60,7 @@ class Table2Result:
     def winners(self, metric: str = "ndcg@20") -> Dict[Tuple[str, str], str]:
         """Best sampler per (dataset, model) block on one metric."""
         out = {}
-        for ds, md in {(ds, md) for (ds, md, _) in self.metrics}:
+        for ds, md in sorted({(ds, md) for (ds, md, _) in self.metrics}):
             ranking = rank_samplers(self.group(ds, md), metric)
             out[(ds, md)] = ranking[0][0]
         return out

@@ -11,12 +11,18 @@ and ``n_users..n_users+n_items-1`` are items.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.data.interactions import InteractionMatrix
 
-__all__ = ["bipartite_adjacency", "normalized_adjacency"]
+__all__ = [
+    "bipartite_adjacency",
+    "normalized_adjacency",
+    "normalized_adjacency_cached",
+]
 
 
 def bipartite_adjacency(interactions: InteractionMatrix) -> sp.csr_matrix:
@@ -48,3 +54,29 @@ def normalized_adjacency(interactions: InteractionMatrix) -> sp.csr_matrix:
     normalized = (scale @ adjacency @ scale).tocsr()
     normalized.sort_indices()
     return normalized
+
+
+_ADJACENCY_CACHE: "weakref.WeakKeyDictionary[InteractionMatrix, sp.csr_matrix]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def normalized_adjacency_cached(interactions: InteractionMatrix) -> sp.csr_matrix:
+    """Memoized :func:`normalized_adjacency`, one entry per live dataset.
+
+    ``Â`` depends only on the interaction matrix — not on ``n_layers`` or the
+    init seed — so every :class:`~repro.models.lightgcn.LightGCN` built over
+    the same training matrix shares one propagation structure.  This rides on
+    the engine's per-process dataset memo (``load_dataset_cached``), which
+    hands back the same ``InteractionMatrix`` object across runs in a worker,
+    turning a per-run ``O(nnz)`` sparse build into a per-dataset one.
+
+    Keys are held weakly: the cached adjacency dies with its dataset, so
+    sweeps over many datasets do not accumulate stale matrices.  Callers must
+    treat the returned matrix as read-only — it is shared between models.
+    """
+    cached = _ADJACENCY_CACHE.get(interactions)
+    if cached is None:
+        cached = normalized_adjacency(interactions)
+        _ADJACENCY_CACHE[interactions] = cached
+    return cached

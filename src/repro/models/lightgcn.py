@@ -24,7 +24,7 @@ import scipy.sparse as sp
 
 from repro.data.interactions import InteractionMatrix
 from repro.models.base import ScoreModel
-from repro.models.graph import normalized_adjacency
+from repro.models.graph import normalized_adjacency_cached
 from repro.models.init import xavier_init
 from repro.train.loss import informativeness
 from repro.train.optimizer import Optimizer
@@ -62,7 +62,9 @@ class LightGCN(ScoreModel):
         self.n_items = interactions.n_items
         self.n_factors = int(check_positive(n_factors, "n_factors"))
         self.n_layers = int(check_positive(n_layers, "n_layers"))
-        self._adjacency: sp.csr_matrix = normalized_adjacency(interactions)
+        self._adjacency: sp.csr_matrix = normalized_adjacency_cached(
+            interactions
+        )
         rng = as_rng(seed)
         self._base = xavier_init(
             self.n_users + self.n_items, self.n_factors, rng

@@ -28,7 +28,7 @@ from repro.utils.validation import check_non_negative
 __all__ = ["PopularityNegativeSampler"]
 
 
-class PopularityNegativeSampler(NegativeSampler):
+class PopularityNegativeSampler(NegativeSampler):  # repro: noqa[R004] -- rejection loop vectorizes poorly; the inherited grouped fallback is parity-tested (see note below sample_for_user)
     """Static sampling with ``p(j) ∝ pop_j^exponent`` (default 0.75)."""
 
     score_request = ScoreRequest.NONE

@@ -1,0 +1,174 @@
+"""Fixture snippets for the determinism rules R001, R002, R005.
+
+Each rule gets positive fixtures (a seeded violation must be reported),
+negative fixtures (idiomatic repo code must pass), and a suppression
+fixture (a justified noqa silences exactly that finding).
+"""
+
+from repro.analysis import lint_sources
+
+
+def rules_in(sources, **kwargs):
+    return [d.rule for d in lint_sources(sources, **kwargs)]
+
+
+class TestR001GlobalRNG:
+    def test_np_random_call_flagged(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_in({"src/repro/data/foo.py": source}) == ["R001"]
+
+    def test_numpy_random_submodule_import_flagged(self):
+        source = "import numpy.random\nx = numpy.random.normal(size=2)\n"
+        assert rules_in({"m.py": source}) == ["R001"]
+
+    def test_from_import_of_draw_function_flagged(self):
+        source = "from numpy.random import rand\nx = rand(3)\n"
+        findings = lint_sources({"m.py": source})
+        # Both the import and the call are reported.
+        assert [d.rule for d in findings] == ["R001", "R001"]
+        assert findings[0].line == 1
+
+    def test_stdlib_random_flagged(self):
+        source = "import random\nx = random.choice([1, 2])\n"
+        assert rules_in({"m.py": source}) == ["R001"]
+
+    def test_from_stdlib_random_import_flagged(self):
+        source = "from random import shuffle\n"
+        assert rules_in({"m.py": source}) == ["R001"]
+
+    def test_generator_parameter_usage_passes(self):
+        source = (
+            "import numpy as np\n"
+            "def draw(rng: np.random.Generator):\n"
+            "    return rng.random(3)\n"
+        )
+        assert rules_in({"m.py": source}) == []
+
+    def test_seed_sequence_and_generator_construction_pass(self):
+        source = (
+            "import numpy as np\n"
+            "seq = np.random.SeedSequence(7)\n"
+            "gen = np.random.Generator(np.random.PCG64(seq))\n"
+        )
+        assert rules_in({"m.py": source}) == []
+
+    def test_default_rng_allowed_only_in_the_rng_seam(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_in({"src/repro/utils/rng.py": source}) == []
+        assert rules_in({"src/repro/samplers/new.py": source}) == ["R001"]
+
+    def test_instance_attribute_named_like_module_passes(self):
+        source = (
+            "class S:\n"
+            "    def f(self):\n"
+            "        return self.rng.random(3)\n"
+        )
+        assert rules_in({"m.py": source}) == []
+
+    def test_justified_noqa_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[R001] -- doc example\n"
+        )
+        assert rules_in({"m.py": source}) == []
+
+
+class TestR002Wallclock:
+    KEYED = "src/repro/experiments/engine/new_backend.py"
+    SAMPLER = "src/repro/samplers/new_sampler.py"
+    UNKEYED = "src/repro/experiments/export2.py"
+
+    def test_time_time_flagged_in_engine(self):
+        source = "import time\nstamp = time.time()\n"
+        assert rules_in({self.KEYED: source}) == ["R002"]
+
+    def test_from_time_import_time_flagged(self):
+        source = "from time import time\nstamp = time()\n"
+        assert rules_in({self.SAMPLER: source}) == ["R002"]
+
+    def test_datetime_now_flagged_in_samplers(self):
+        source = (
+            "from datetime import datetime\nstamp = datetime.now()\n"
+        )
+        assert rules_in({self.SAMPLER: source}) == ["R002"]
+
+    def test_uuid_and_urandom_flagged(self):
+        source = (
+            "import os\nimport uuid\n"
+            "token = uuid.uuid4()\nnoise = os.urandom(8)\n"
+        )
+        assert rules_in({self.KEYED: source}) == ["R002", "R002"]
+
+    def test_perf_counter_allowed(self):
+        source = "import time\nt0 = time.perf_counter()\n"
+        assert rules_in({self.KEYED: source}) == []
+
+    def test_same_code_passes_outside_keyed_paths(self):
+        source = "import time\nstamp = time.time()\n"
+        assert rules_in({self.UNKEYED: source}) == []
+
+    def test_justified_noqa_suppresses(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # repro: noqa[R002] -- log-only timestamp\n"
+        )
+        assert rules_in({self.KEYED: source}) == []
+
+
+class TestR005UnorderedIteration:
+    def test_for_loop_over_set_literal_flagged(self):
+        source = "for x in {3, 1, 2}:\n    print(x)\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_for_loop_over_set_call_flagged(self):
+        source = "for x in set([3, 1]):\n    print(x)\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_comprehension_over_set_comprehension_flagged(self):
+        source = "pairs = [(a, a) for a in {b for b in range(4)}]\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_set_algebra_still_set_valued(self):
+        source = "for x in set([1]) | set([2]):\n    print(x)\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_numpy_constructor_over_set_flagged(self):
+        source = "import numpy as np\narr = np.array({1, 2})\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_list_over_set_flagged(self):
+        source = "items = list(frozenset([2, 1]))\n"
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_sorted_wrapper_passes(self):
+        source = (
+            "import numpy as np\n"
+            "for x in sorted({3, 1}):\n    print(x)\n"
+            "arr = np.array(sorted(set([2, 1])))\n"
+            "names = tuple(sorted(set([\"b\", \"a\"])))\n"
+        )
+        assert rules_in({"m.py": source}) == []
+
+    def test_dict_keys_to_numpy_flagged(self):
+        source = (
+            "import numpy as np\nd = {'a': 1}\n"
+            "arr = np.fromiter(d.keys(), dtype=object)\n"
+        )
+        assert rules_in({"m.py": source}) == ["R005"]
+
+    def test_dict_keys_in_plain_for_loop_passes(self):
+        # dict iteration is insertion-ordered: only direct array/serialize
+        # sinks treat insertion history as an accidental input.
+        source = "d = {'a': 1}\nfor k in d.keys():\n    print(k)\n"
+        assert rules_in({"m.py": source}) == []
+
+    def test_membership_test_passes(self):
+        source = "ok = 3 in {1, 2, 3}\n"
+        assert rules_in({"m.py": source}) == []
+
+    def test_justified_noqa_suppresses(self):
+        source = (
+            "x = list({1, 2})"
+            "  # repro: noqa[R005] -- singleton set, order immaterial\n"
+        )
+        assert rules_in({"m.py": source}) == []

@@ -1,0 +1,149 @@
+"""Framework mechanics: registry, suppressions, selection, output shapes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_sources, rule_registry
+from repro.analysis.runner import LintReport, format_json, format_text, lint_paths
+from repro.analysis.suppressions import parse_suppressions
+
+EXPECTED_RULES = {"R001", "R002", "R003", "R004", "R005"}
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert set(rule_registry()) == EXPECTED_RULES
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule_id, rule_cls in rule_registry().items():
+            assert rule_cls.id == rule_id
+            assert rule_cls.title, rule_id
+            assert rule_cls.invariant, rule_id
+            assert rule_cls.severity in ("error", "warning")
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_sources({"a.py": "x = 1\n"}, rules=["R999"])
+
+    def test_rule_selection_filters(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        everything = lint_sources({"m.py": source})
+        only_r005 = lint_sources({"m.py": source}, rules=["R005"])
+        assert any(d.rule == "R001" for d in everything)
+        assert only_r005 == []
+
+
+class TestSuppressions:
+    def test_justified_noqa_suppresses_on_its_line(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[R001] -- seeded demo only\n"
+        )
+        assert lint_sources({"m.py": source}) == []
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        source = (
+            "# repro: noqa[R001] -- wrong line\n"
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+        )
+        findings = lint_sources({"m.py": source})
+        assert [d.rule for d in findings] == ["R001"]
+
+    def test_unjustified_noqa_is_r000_and_suppresses_nothing(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[R001]\n"
+        )
+        rules = sorted(d.rule for d in lint_sources({"m.py": source}))
+        assert rules == ["R000", "R001"]
+
+    def test_multi_rule_noqa(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.array({1, 2}) + np.random.rand(2)"
+            "  # repro: noqa[R001,R005] -- fixture constant\n"
+        )
+        assert lint_sources({"m.py": source}) == []
+
+    def test_noqa_inside_string_literal_is_inert(self):
+        source = 's = "# repro: noqa[R001]"\n'
+        suppressions, bad = parse_suppressions(source, "m.py")
+        assert len(suppressions) == 0
+        assert bad == []
+
+
+class TestOutputs:
+    def _report(self):
+        source = "import numpy as np\nx = np.random.rand(1)\n"
+        diagnostics = lint_sources({"m.py": source})
+        return LintReport(diagnostics=diagnostics, files_checked=1)
+
+    def test_json_schema(self):
+        payload = json.loads(format_json(self._report()))
+        assert set(payload) == {
+            "diagnostics",
+            "errors",
+            "warnings",
+            "files_checked",
+        }
+        assert payload["files_checked"] == 1
+        assert payload["errors"] == len(payload["diagnostics"]) == 1
+        entry = payload["diagnostics"][0]
+        assert set(entry) == {
+            "rule",
+            "severity",
+            "path",
+            "line",
+            "col",
+            "message",
+            "hint",
+        }
+        assert entry["rule"] == "R001"
+        assert entry["severity"] == "error"
+        assert entry["line"] == 2
+        assert isinstance(entry["col"], int)
+
+    def test_text_format_cites_location_and_summary(self):
+        text = format_text(self._report())
+        assert "m.py:2:" in text
+        assert "R001" in text
+        assert "1 error(s)" in text
+
+    def test_clean_report_exit_code(self):
+        report = LintReport(diagnostics=[], files_checked=3)
+        assert report.exit_code == 0
+        assert "clean" in format_text(report)
+
+    def test_diagnostics_sorted_by_location(self):
+        source = (
+            "import numpy as np\n"
+            "b = np.random.rand(1)\n"
+            "a = list({1, 2})\n"
+        )
+        findings = lint_sources({"m.py": source})
+        assert [d.line for d in findings] == sorted(d.line for d in findings)
+
+
+class TestPathCollection:
+    def test_lint_paths_reports_syntax_errors(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = lint_paths([bad], root=tmp_path)
+        assert [d.rule for d in report.diagnostics] == ["E999"]
+        assert report.exit_code == 1
+
+    def test_lint_paths_skips_pycache(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("import numpy as np\nnp.random.rand(1)\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path], root=tmp_path)
+        assert report.files_checked == 1
+        assert report.diagnostics == []
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"], root=tmp_path)

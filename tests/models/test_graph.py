@@ -1,10 +1,17 @@
 """Tests for repro.models.graph."""
 
+import gc
+
 import numpy as np
 import pytest
 
 from repro.data.interactions import InteractionMatrix
-from repro.models.graph import bipartite_adjacency, normalized_adjacency
+from repro.models.graph import (
+    _ADJACENCY_CACHE,
+    bipartite_adjacency,
+    normalized_adjacency,
+    normalized_adjacency_cached,
+)
 
 
 @pytest.fixture
@@ -65,3 +72,34 @@ class TestNormalizedAdjacency:
         dense = normalized_adjacency(empty).toarray()
         assert np.all(np.isfinite(dense))
         assert np.all(dense == 0)
+
+
+class TestNormalizedAdjacencyCached:
+    def test_same_instance_returns_same_object(self, small_graph):
+        first = normalized_adjacency_cached(small_graph)
+        second = normalized_adjacency_cached(small_graph)
+        assert first is second
+
+    def test_matches_uncached_computation(self, small_graph):
+        cached = normalized_adjacency_cached(small_graph)
+        fresh = normalized_adjacency(small_graph)
+        assert (cached != fresh).nnz == 0
+
+    def test_models_over_same_dataset_share_structure(self, small_graph):
+        from repro.models.lightgcn import LightGCN
+
+        one_layer = LightGCN(small_graph, n_factors=4, n_layers=1, seed=0)
+        two_layer = LightGCN(small_graph, n_factors=4, n_layers=2, seed=1)
+        # Â is layer- and seed-independent: one entry serves every model
+        # built over the same training matrix.
+        assert one_layer._adjacency is two_layer._adjacency
+
+    def test_entry_dies_with_its_dataset(self):
+        transient = InteractionMatrix.from_pairs([(0, 0)], 1, 1)
+        normalized_adjacency_cached(transient)
+        assert transient in _ADJACENCY_CACHE
+        del transient
+        gc.collect()
+        assert not any(
+            key.shape == (1, 1) for key in _ADJACENCY_CACHE.keys()
+        )

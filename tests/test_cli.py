@@ -196,3 +196,59 @@ class TestSaveModels:
                      "--datasets", "tiny"]) == 0
         err = capsys.readouterr().err
         assert "no effect" in err
+
+
+class TestLintCommand:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.format == "text"
+        assert args.rules is None
+
+    def test_lint_clean_file_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violation_exits_one_and_cites_location(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "bad.py:2:" in out
+
+    def test_lint_rules_filter(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        assert main(["lint", str(bad), "--rules", "R005"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys, tmp_path):
+        import json as json_module
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("order = list({3, 1, 2})\n")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "R005"
+
+    def test_lint_unknown_rule_is_usage_error(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["lint", str(clean), "--rules", "R999"])
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_lint_repo_src_is_clean(self, capsys):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        assert main(["lint", str(root / "src"), "--root", str(root)]) == 0
