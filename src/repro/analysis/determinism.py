@@ -205,8 +205,11 @@ _WALLCLOCK_EXACT = frozenset(
 #: Whole modules whose every call is entropy/identity generation.
 _WALLCLOCK_PREFIXES = ("uuid.", "secrets.")
 
-#: Path fragments that mark the content-addressed / sampling code paths.
-_KEYED_PATH_MARKERS = ("/experiments/engine/", "/samplers/")
+#: Path fragments that mark the content-addressed / sampling code paths,
+#: plus the serving layer (served lists are pinned bitwise to the offline
+#: evaluator, so wallclock must never influence what gets served —
+#: ``perf_counter``/``monotonic`` duration measurement stays allowed).
+_KEYED_PATH_MARKERS = ("/experiments/engine/", "/samplers/", "/serve/")
 
 
 def in_keyed_path(relpath: str) -> bool:

@@ -13,6 +13,11 @@ Commands
     repeated artifact is assembled without retraining.
 ``run-all``
     Execute every paper artifact off one shared run cache.
+    ``--replicates N`` repeats every spec over N seeds and reports the
+    across-seed spread (the paper's 10-run protocol).
+``serve-bench``
+    Benchmark the online serving layer (uncached vs warm-cache vs
+    coalesced) and optionally write ``BENCH_serve.json``.
 ``cache``
     Inspect (``ls``) or delete (``clear``) the run cache.
 ``lint``
@@ -165,7 +170,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write each artifact as <name>.txt under PATH",
     )
+    run_all.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat every spec in the grid over N seeds and report the "
+        "across-seed mean/std (10 reproduces the paper's replication "
+        "protocol); the extra seeds share the run cache",
+    )
     _add_engine_options(run_all)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="benchmark the online serving layer (qps, p50/p99, hit-rate)",
+    )
+    serve_bench.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="registry dataset name (default: the synthetic serve-bench "
+        "universe, ~1.3k users x ~2.3k items)",
+    )
+    serve_bench.add_argument("--requests", type=int, default=4000, metavar="N")
+    serve_bench.add_argument("--k", type=int, default=10)
+    serve_bench.add_argument("--cache-k", type=int, default=100, metavar="K")
+    serve_bench.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent client threads in the coalescing phase",
+    )
+    serve_bench.add_argument("--max-batch", type=int, default=64, metavar="N")
+    serve_bench.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="coalescer fill window in milliseconds",
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measurements as JSON (the BENCH_serve.json "
+        "schema)",
+    )
 
     lint = commands.add_parser(
         "lint", help="check the tree against the repo's determinism/"
@@ -316,6 +368,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         artifacts=artifacts,
         dataset=args.dataset,
         engine=engine,
+        replicates=args.replicates,
     )
 
     output_dir = Path(args.output_dir) if args.output_dir else None
@@ -359,6 +412,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.bench import DEFAULT_DATASET, run_serve_bench
+
+    result = run_serve_bench(
+        args.dataset or DEFAULT_DATASET,
+        n_requests=args.requests,
+        k=args.k,
+        cache_k=args.cache_k,
+        n_clients=args.clients,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        seed=args.seed,
+    )
+    print(result.format())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_payload(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _resolve_store(args.cache_dir)
     if args.cache_command == "ls":
@@ -389,6 +466,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "train": _cmd_train,
     "experiment": _cmd_experiment,
     "run-all": _cmd_run_all,
+    "serve-bench": _cmd_serve_bench,
     "cache": _cmd_cache,
     "lint": _cmd_lint,
 }

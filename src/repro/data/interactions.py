@@ -463,6 +463,42 @@ class InteractionMatrix:
         return out
 
     # ------------------------------------------------------------------ #
+    # Functional updates
+    # ------------------------------------------------------------------ #
+
+    def with_appended(
+        self, user_ids: Iterable[int], item_ids: Iterable[int]
+    ) -> "InteractionMatrix":
+        """A new matrix with the given ``(user, item)`` pairs appended.
+
+        The ingestion seam for online serving: the matrix itself stays
+        immutable (every lazy cache — negative tables, pair-key index,
+        CSC — remains valid forever), and callers that observe new
+        interactions swap in the returned matrix and invalidate whatever
+        *they* derived from the old one (e.g. the serving layer's
+        per-user top-K lists, see :mod:`repro.serve`).  Pairs already
+        present are absorbed by the binary-dedup construction, so the
+        call is idempotent.  Cost is one CSR rebuild, O(nnz + appended);
+        callers should batch appends rather than loop single pairs.
+        """
+        users = np.asarray(user_ids, dtype=np.int64).ravel()
+        items = np.asarray(item_ids, dtype=np.int64).ravel()
+        if users.shape != items.shape:
+            raise ValueError(
+                f"user_ids and item_ids must be parallel, got lengths "
+                f"{users.size} and {items.size}"
+            )
+        if users.size == 0:
+            return self
+        old_users, old_items = self.pairs()
+        return InteractionMatrix(
+            self._n_users,
+            self._n_items,
+            np.concatenate([old_users, users]),
+            np.concatenate([old_items, items]),
+        )
+
+    # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #
 

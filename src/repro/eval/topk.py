@@ -16,15 +16,34 @@ paths exactly equal per user.
 
 Only finite scores are rankable: masked items sit at ``-inf`` and models
 are expected to emit finite scores for everything else.
+
+Two implementations compute the canonical result:
+
+* :func:`top_k_items_batch` — the **argpartition fast path** shared by the
+  evaluator and the serving layer: one ``argpartition`` selects each row's
+  head, ties that straddle the cut-off are repaired to the canonical rule
+  on the (rare) rows that need it, and two small ``(U, k)`` sorts produce
+  the final ordering.  The full-width passes are one partial select and
+  one equality scan, independent of how many entries clear the cut-off.
+* :func:`top_k_items_batch_reference` — the original membership-scan
+  kernel, kept as the executable specification; the two are pinned
+  bitwise-equal (ids, lengths and padding) by
+  ``tests/eval/test_topk.py`` and the property suite.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["top_k_items", "top_k_items_batch", "top_k_premasked", "ranked_items"]
+__all__ = [
+    "top_k_items",
+    "top_k_items_batch",
+    "top_k_items_batch_reference",
+    "top_k_premasked",
+    "ranked_items",
+]
 
 
 def top_k_items(
@@ -60,6 +79,30 @@ def top_k_premasked(masked: np.ndarray, k: int) -> np.ndarray:
     return ids[0, : lengths[0]]
 
 
+def _check_block(
+    masked: np.ndarray, k: int
+) -> Tuple[np.ndarray, Optional[Tuple[np.ndarray, np.ndarray]]]:
+    """Shared argument contract of the two batch kernels.
+
+    Returns ``(block, early_result)`` where ``early_result`` is the
+    degenerate answer for empty blocks (no rows, or ``width == 0``) and
+    ``None`` when the caller should run the real kernel.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    masked = np.asarray(masked, dtype=np.float64)
+    if masked.ndim != 2:
+        raise ValueError(f"score block must be 2-D, got {masked.ndim}-D")
+    n_rows, n_items = masked.shape
+    width = min(int(k), n_items)
+    if n_rows == 0 or width == 0:
+        return masked, (
+            np.full((n_rows, width), -1, dtype=np.int64),
+            np.zeros(n_rows, dtype=np.int64),
+        )
+    return masked, None
+
+
 def top_k_items_batch(
     masked: np.ndarray, k: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -83,22 +126,75 @@ def top_k_items_batch(
         in ``ids[r, :lengths[r]]``, padded with ``-1`` past ``lengths[r]``
         when the row has fewer than ``min(k, n_items)`` eligible items.
 
+    This is the argpartition fast path: one ``argpartition`` pulls each
+    row's ``width`` largest entries (arbitrary internal order, arbitrary
+    choice among cut-off ties), one equality scan counts how many
+    cut-off-valued entries the full row holds, and only the rows where
+    ties straddle the boundary — where argpartition's arbitrary choice
+    could differ from the canonical smallest-ids rule — are repaired via
+    the reference kernel.  Ordering within the head is two ``(U, width)``
+    sorts: ascending id first, then a stable sort by descending score,
+    which realizes "descending score, ascending id" exactly.
+    """
+    masked, shaped = _check_block(masked, k)
+    if shaped is not None:
+        return shaped
+    n_rows, n_items = masked.shape
+    width = min(int(k), n_items)
+
+    head_ids = np.argpartition(masked, n_items - width, axis=1)[:, n_items - width :]
+    head_scores = np.take_along_axis(masked, head_ids, axis=1)
+    cutoff = head_scores.min(axis=1)
+
+    # Ties straddle the cut-off when the full row holds more entries at
+    # the cut-off value than the head does; argpartition picked an
+    # arbitrary subset of them, the canonical rule wants the smallest
+    # ids.  Rows whose cut-off is -inf never need repair: every eligible
+    # (> -inf) entry is already in the head and -inf entries are padding.
+    n_tie_all = np.count_nonzero(masked == cutoff[:, None], axis=1)
+    n_tie_head = np.count_nonzero(head_scores == cutoff[:, None], axis=1)
+    ambiguous = (n_tie_all > n_tie_head) & ~np.isneginf(cutoff)
+    if np.any(ambiguous):
+        rows = np.nonzero(ambiguous)[0]
+        fixed_ids, _ = top_k_items_batch_reference(masked[rows], width)
+        repaired = np.where(fixed_ids >= 0, fixed_ids, 0)
+        repaired_scores = np.take_along_axis(masked[rows], repaired, axis=1)
+        repaired_scores[fixed_ids < 0] = -np.inf
+        head_ids[rows] = repaired
+        head_scores[rows] = repaired_scores
+
+    # Canonical ordering: ascending-id pre-sort, then a stable descending
+    # score sort; -inf head entries sink to the tail and become padding.
+    id_order = np.argsort(head_ids, axis=1)
+    head_ids = np.take_along_axis(head_ids, id_order, axis=1)
+    head_scores = np.take_along_axis(head_scores, id_order, axis=1)
+    score_order = np.argsort(-head_scores, axis=1, kind="stable")
+    ids = np.take_along_axis(head_ids, score_order, axis=1)
+    ordered_scores = np.take_along_axis(head_scores, score_order, axis=1)
+    ids[np.isneginf(ordered_scores)] = -1
+    lengths = np.count_nonzero(ordered_scores > -np.inf, axis=1).astype(np.int64)
+    return ids, lengths
+
+
+def top_k_items_batch_reference(
+    masked: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Membership-scan reference kernel (the executable specification).
+
+    Same contract and bitwise-identical output as
+    :func:`top_k_items_batch`; kept because its correctness argument is
+    direct (one ``>=`` membership pass with explicit tie quotas) and as
+    the comparison target for the fast path's parity tests.
+
     The whole block costs one ``partition`` (the per-row cut-off value),
     two boolean passes (membership, with boundary ties resolved to the
     smallest ids), and one ``(U, width)`` head sort — no per-row Python.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    masked = np.asarray(masked, dtype=np.float64)
-    if masked.ndim != 2:
-        raise ValueError(f"score block must be 2-D, got {masked.ndim}-D")
+    masked, shaped = _check_block(masked, k)
+    if shaped is not None:
+        return shaped
     n_rows, n_items = masked.shape
     width = min(int(k), n_items)
-    if n_rows == 0 or width == 0:
-        return (
-            np.full((n_rows, width), -1, dtype=np.int64),
-            np.zeros(n_rows, dtype=np.int64),
-        )
 
     # The width-th largest value per row bounds the head.  Everything
     # strictly above it is in; the remaining slots go to the tied items

@@ -31,11 +31,17 @@ from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import fig4_requests, run_fig4
 from repro.experiments.fig5 import fig5_requests, run_fig5
+from repro.experiments.sweep import (
+    ReplicationResult,
+    replication_requests,
+    run_replicated,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import table2_requests, run_table2
 from repro.experiments.table3 import table3_requests, run_table3
 from repro.experiments.table4 import table4_requests, run_table4
 from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive
 
 __all__ = [
     "ALL_ARTIFACTS",
@@ -100,14 +106,31 @@ class RunAllResult:
     hits: int
     misses: int
     elapsed_seconds: float
+    #: Seeds per spec when ``run_all(replicates=N)`` with ``N > 1``.
+    replicates: int = 1
+    #: Across-seed aggregates, one per unique spec in the grid (empty
+    #: unless ``replicates > 1``).
+    replications: Tuple[ReplicationResult, ...] = ()
 
     def format_summary(self) -> str:
         """One-paragraph orchestration report for the CLI."""
-        return (
+        summary = (
             f"run-all: {len(self.artifacts)} artifacts, {self.n_runs} unique "
             f"training runs ({self.hits} cache hits, {self.misses} computed) "
             f"in {self.elapsed_seconds:.1f}s"
         )
+        if self.replications:
+            worst_std, worst_metric, worst_label = max(
+                (rep.std(metric), metric, rep.spec.label())
+                for rep in self.replications
+                for metric in rep.per_seed[0]
+            )
+            summary += (
+                f"\nreplication: {self.replicates} seeds x "
+                f"{len(self.replications)} specs; largest across-seed std "
+                f"{worst_std:.4f} ({worst_metric}, {worst_label})"
+            )
+        return summary
 
 
 def gather_requests(
@@ -134,17 +157,27 @@ def run_all(
     artifacts: Sequence[str] = ALL_ARTIFACTS,
     dataset: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
+    replicates: int = 1,
 ) -> RunAllResult:
     """Regenerate every requested artifact from one shared cache.
 
     ``dataset`` overrides every artifact's dataset with one name (smoke
     runs on ``"tiny"``); the default keeps each artifact's paper dataset.
+    ``replicates=N`` with ``N > 1`` additionally repeats every unique
+    spec in the grid over ``N`` seeds (the paper's 10-run protocol,
+    §IV-B1) through :func:`~repro.experiments.sweep.run_replicated`; the
+    per-spec across-seed aggregates land in ``RunAllResult.replications``
+    and the seed runs are warmed in the same phase-1 batch as the grid
+    (so a process-pool backend trains them concurrently and a warm cache
+    replays them for free).
     """
     unknown = sorted(set(artifacts) - set(ALL_ARTIFACTS))
     if unknown:
         raise ValueError(
             f"unknown artifacts {unknown}; available: {list(ALL_ARTIFACTS)}"
         )
+    check_positive(replicates, "replicates")
+    replicates = int(replicates)
     engine = resolve_engine(engine)
     started = time.perf_counter()
     misses_before = engine.stats.misses
@@ -152,6 +185,17 @@ def run_all(
     # Phase 1 — warm the cache across all artifacts in one batch, so a
     # parallel backend schedules the full grid at once.
     requests = gather_requests(scale, seed, artifacts, dataset)
+    replicated_specs = []
+    if replicates > 1:
+        seen_specs = set()
+        for request in requests:
+            if request.spec not in seen_specs:
+                seen_specs.add(request.spec)
+                replicated_specs.append(request.spec)
+        for spec in replicated_specs:
+            requests.extend(
+                replication_requests(spec, replicates, base_seed=spec.seed)
+            )
     graph = JobGraph()
     for request in requests:
         graph.add(request)
@@ -187,6 +231,13 @@ def run_all(
                 kwargs["engine"] = engine
             results[name] = runners[name](**kwargs)
 
+    # Phase 3 — across-seed aggregation (pure cache hits: the seed runs
+    # were part of the phase-1 batch).
+    replications = tuple(
+        run_replicated(spec, replicates, base_seed=spec.seed, engine=engine)
+        for spec in replicated_specs
+    )
+
     computed = engine.stats.misses - misses_before
     return RunAllResult(
         scale=scale,
@@ -196,4 +247,6 @@ def run_all(
         hits=len(graph) - computed,
         misses=computed,
         elapsed_seconds=time.perf_counter() - started,
+        replicates=replicates,
+        replications=replications,
     )

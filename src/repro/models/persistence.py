@@ -61,29 +61,81 @@ def save_model(model, path: PathLike) -> None:
         raise TypeError(f"cannot persist model of type {type(model).__name__}")
 
 
+def _required(archive, path: Path, key: str) -> np.ndarray:
+    """The archive entry for ``key``, or a clear error naming the file."""
+    if key not in archive:
+        raise ValueError(
+            f"{path}: malformed checkpoint — missing array {key!r}"
+        )
+    return archive[key]
+
+
+def _check_array(
+    path: Path, name: str, array: np.ndarray, *, ndim: int, dtype=np.float64
+) -> np.ndarray:
+    """Validate a parameter array's rank and dtype with a clear error.
+
+    Checkpoints written by :func:`save_model` always satisfy these; a
+    failure means the archive was corrupted or hand-built, and the load
+    must stop *here* rather than seed a model with garbage (a wrong
+    dtype would also silently change scoring numerics downstream).
+    """
+    if array.ndim != ndim:
+        raise ValueError(
+            f"{path}: {name} must be {ndim}-D, got shape {array.shape}"
+        )
+    if array.dtype != np.dtype(dtype):
+        raise ValueError(
+            f"{path}: {name} must have dtype {np.dtype(dtype).name}, "
+            f"got {array.dtype.name}"
+        )
+    return array
+
+
 def load_model(path: PathLike):
-    """Load a model previously written by :func:`save_model`."""
+    """Load a model previously written by :func:`save_model`.
+
+    Parameter arrays are validated (rank, dtype, cross-array shape
+    consistency) before any model is constructed; a corrupted or
+    hand-edited archive fails with an error naming the file and the
+    offending array instead of surfacing later as a numerics bug.
+    """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
-        kind = str(archive["kind"])
-        version = int(archive["version"])
+        kind = str(_required(archive, path, "kind"))
+        version = int(_required(archive, path, "version"))
         if version > _FORMAT_VERSION:
             raise ValueError(
                 f"{path}: format version {version} is newer than supported "
                 f"({_FORMAT_VERSION})"
             )
         if kind == "mf":
-            return _load_mf(archive)
+            return _load_mf(archive, path)
         if kind == "biased_mf":
-            return _load_biased_mf(archive)
+            return _load_biased_mf(archive, path)
         if kind == "lightgcn":
-            return _load_lightgcn(archive)
+            return _load_lightgcn(archive, path)
     raise ValueError(f"{path}: unknown model kind {kind!r}")
 
 
-def _load_mf(archive) -> MatrixFactorization:
-    user_factors = archive["user_factors"]
-    item_factors = archive["item_factors"]
+def _load_factors(archive, path: Path):
+    """The validated, mutually consistent MF-family factor matrices."""
+    user_factors = _check_array(
+        path, "user_factors", _required(archive, path, "user_factors"), ndim=2
+    )
+    item_factors = _check_array(
+        path, "item_factors", _required(archive, path, "item_factors"), ndim=2
+    )
+    if user_factors.shape[1] != item_factors.shape[1]:
+        raise ValueError(
+            f"{path}: factor ranks disagree — user_factors "
+            f"{user_factors.shape} vs item_factors {item_factors.shape}"
+        )
+    return user_factors, item_factors
+
+
+def _load_mf(archive, path: Path) -> MatrixFactorization:
+    user_factors, item_factors = _load_factors(archive, path)
     model = MatrixFactorization(
         user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
     )
@@ -92,32 +144,61 @@ def _load_mf(archive) -> MatrixFactorization:
     return model
 
 
-def _load_biased_mf(archive) -> BiasedMatrixFactorization:
-    user_factors = archive["user_factors"]
-    item_factors = archive["item_factors"]
+def _load_biased_mf(archive, path: Path) -> BiasedMatrixFactorization:
+    user_factors, item_factors = _load_factors(archive, path)
+    item_bias = _check_array(
+        path, "item_bias", _required(archive, path, "item_bias"), ndim=1
+    )
+    if item_bias.shape[0] != item_factors.shape[0]:
+        raise ValueError(
+            f"{path}: item_bias has {item_bias.shape[0]} entries for "
+            f"{item_factors.shape[0]} items"
+        )
     model = BiasedMatrixFactorization(
         user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
     )
     model.user_factors[:] = user_factors
     model.item_factors[:] = item_factors
-    model.item_bias[:] = archive["item_bias"]
+    model.item_bias[:] = item_bias
     return model
 
 
-def _load_lightgcn(archive) -> LightGCN:
-    interactions = InteractionMatrix(
-        int(archive["n_users"]),
-        int(archive["n_items"]),
-        archive["graph_users"],
-        archive["graph_items"],
+def _load_lightgcn(archive, path: Path) -> LightGCN:
+    base_embeddings = _check_array(
+        path,
+        "base_embeddings",
+        _required(archive, path, "base_embeddings"),
+        ndim=2,
     )
+    n_users = int(_required(archive, path, "n_users"))
+    n_items = int(_required(archive, path, "n_items"))
+    if base_embeddings.shape[0] != n_users + n_items:
+        raise ValueError(
+            f"{path}: base_embeddings has {base_embeddings.shape[0]} rows "
+            f"for {n_users} users + {n_items} items"
+        )
+    graph_users = _check_array(
+        path,
+        "graph_users",
+        _required(archive, path, "graph_users"),
+        ndim=1,
+        dtype=np.int64,
+    )
+    graph_items = _check_array(
+        path,
+        "graph_items",
+        _required(archive, path, "graph_items"),
+        ndim=1,
+        dtype=np.int64,
+    )
+    interactions = InteractionMatrix(n_users, n_items, graph_users, graph_items)
     model = LightGCN(
         interactions,
-        n_factors=int(archive["base_embeddings"].shape[1]),
-        n_layers=int(archive["n_layers"]),
+        n_factors=int(base_embeddings.shape[1]),
+        n_layers=int(_required(archive, path, "n_layers")),
         seed=0,
     )
-    model.base_embeddings[:] = archive["base_embeddings"]
+    model.base_embeddings[:] = base_embeddings
     model.invalidate_cache()
     return model
 

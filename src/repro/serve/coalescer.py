@@ -1,0 +1,174 @@
+"""Micro-batching request coalescer for the serving hot path.
+
+One user's cache miss costs a ``(1, n_items)`` score row — a gemv plus
+Python/numpy call overhead.  Under concurrent load those misses arrive
+together, and ``B`` of them answered as one ``(B, n_items)``
+``scores_batch`` gemm cost far less than ``B`` gemv dispatches.
+:class:`RequestCoalescer` is the generic queue that realizes this: callers
+block in :meth:`submit` while a *leader* thread collects up to
+``max_batch`` concurrent requests (waiting at most ``max_wait`` seconds
+for stragglers), executes the whole batch through one user-supplied
+``compute`` callable, and distributes the per-request results.
+
+The leader/follower scheme needs no dedicated dispatcher thread — the
+first thread to find no leader active becomes one, which keeps the
+coalescer dead-simple to embed (no lifecycle, nothing to shut down) and
+adds zero latency in the single-client case: a lone request waits
+``max_wait`` once, or not at all with ``max_wait=0``.
+
+Deadline handling uses ``time.monotonic`` only — wallclock never enters
+any decision (the serving layer sits under the repo's R002 purity rule:
+durations may be measured, identity/keys may not depend on time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Sequence, TypeVar
+
+from repro.utils.validation import check_positive
+
+__all__ = ["CoalescerStats", "RequestCoalescer"]
+
+TRequest = TypeVar("TRequest")
+TResult = TypeVar("TResult")
+
+
+@dataclass
+class CoalescerStats:
+    """Dispatch accounting (mutated under the coalescer lock)."""
+
+    requests: int = 0
+    batches: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(self.batch_sizes) if self.batch_sizes else 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class _Slot(Generic[TResult]):
+    """One in-flight request: its payload plus a completion event."""
+
+    __slots__ = ("request", "done", "result", "error")
+
+    def __init__(self, request) -> None:
+        self.request = request
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class RequestCoalescer(Generic[TRequest, TResult]):
+    """Collect concurrent blocking requests into batched compute calls.
+
+    Parameters
+    ----------
+    compute:
+        ``compute(requests) -> results`` with results aligned to the
+        request list.  Called outside the coalescer lock, from whichever
+        thread is leading the batch; it must be thread-safe with respect
+        to itself (the service serializes scoring under its own lock).
+    max_batch:
+        Largest batch handed to one ``compute`` call.
+    max_wait:
+        Seconds a leader waits for the batch to fill before dispatching
+        whatever has arrived.  ``0`` dispatches immediately — only
+        requests already queued at that instant coalesce.
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[Sequence[TRequest]], Sequence[TResult]],
+        *,
+        max_batch: int = 256,
+        max_wait: float = 0.002,
+    ) -> None:
+        self.max_batch = int(check_positive(max_batch, "max_batch"))
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_wait = float(max_wait)
+        self._compute = compute
+        self._cond = threading.Condition()
+        self._queue: List[_Slot] = []
+        self._leader_active = False
+        self.stats = CoalescerStats()
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: TRequest) -> TResult:
+        """Block until ``request`` has been computed; return its result.
+
+        Exceptions raised by ``compute`` propagate to every caller whose
+        request was in the failing batch.
+        """
+        slot: _Slot = _Slot(request)
+        with self._cond:
+            self._queue.append(slot)
+            self.stats.requests += 1
+            if self._leader_active:
+                # A leader is collecting: wake it (the batch may now be
+                # full) and wait for our result as a follower.
+                self._cond.notify_all()
+                is_leader = False
+            else:
+                self._leader_active = True
+                is_leader = True
+        if is_leader:
+            self._lead()
+        else:
+            slot.done.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    # ------------------------------------------------------------------ #
+
+    def _lead(self) -> None:
+        """Run dispatch rounds until the queue is drained, then step down.
+
+        The first round waits up to ``max_wait`` for the batch to fill;
+        backlog rounds (requests that arrived while a batch was
+        computing) dispatch immediately — they have already waited.
+        """
+        first_round = True
+        while True:
+            with self._cond:
+                if not self._queue:
+                    self._leader_active = False
+                    return
+                if first_round and self.max_wait > 0:
+                    deadline = time.monotonic() + self.max_wait
+                    while len(self._queue) < self.max_batch:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                first_round = False
+                batch = self._queue[: self.max_batch]
+                del self._queue[: self.max_batch]
+                self.stats.batches += 1
+                self.stats.batch_sizes.append(len(batch))
+            try:
+                results = self._compute([slot.request for slot in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"compute returned {len(results)} results for "
+                        f"{len(batch)} requests"
+                    )
+                for slot, result in zip(batch, results):
+                    slot.result = result
+            except BaseException as error:  # noqa: BLE001 - must reach waiters
+                for slot in batch:
+                    slot.error = error
+            finally:
+                for slot in batch:
+                    slot.done.set()

@@ -77,6 +77,7 @@ class TestR002Wallclock:
     KEYED = "src/repro/experiments/engine/new_backend.py"
     SAMPLER = "src/repro/samplers/new_sampler.py"
     UNKEYED = "src/repro/experiments/export2.py"
+    SERVE = "src/repro/serve/new_layer.py"
 
     def test_time_time_flagged_in_engine(self):
         source = "import time\nstamp = time.time()\n"
@@ -106,6 +107,14 @@ class TestR002Wallclock:
     def test_same_code_passes_outside_keyed_paths(self):
         source = "import time\nstamp = time.time()\n"
         assert rules_in({self.UNKEYED: source}) == []
+
+    def test_serve_layer_is_a_keyed_path(self):
+        source = "import time\nstamp = time.time()\n"
+        assert rules_in({self.SERVE: source}) == ["R002"]
+
+    def test_monotonic_allowed_in_serve(self):
+        source = "import time\ndeadline = time.monotonic() + 0.002\n"
+        assert rules_in({self.SERVE: source}) == []
 
     def test_justified_noqa_suppresses(self):
         source = (

@@ -5,6 +5,7 @@ import pytest
 
 from repro.eval.topk import (
     ranked_items,
+    top_k_items_batch_reference,
     top_k_items,
     top_k_items_batch,
     top_k_premasked,
@@ -150,3 +151,52 @@ class TestRankedItems:
         full = ranked_items(scores, positives)
         head = top_k_items(scores, positives, 10)
         assert np.array_equal(full[:10], head)
+
+
+class TestFastVsReferenceParity:
+    """The argpartition fast path is bitwise-pinned to the reference scan.
+
+    The serving layer and the evaluator both ride the fast path; its
+    contract is exact agreement with ``top_k_items_batch_reference`` —
+    canonical tie order included, even when ties straddle the cut-off.
+    """
+
+    def _assert_identical(self, masked, k):
+        fast_ids, fast_lengths = top_k_items_batch(masked, k)
+        ref_ids, ref_lengths = top_k_items_batch_reference(masked, k)
+        assert np.array_equal(fast_ids, ref_ids)
+        assert np.array_equal(fast_lengths, ref_lengths)
+        assert fast_ids.dtype == ref_ids.dtype == np.int64
+
+    def test_continuous_scores(self):
+        rng = np.random.default_rng(7)
+        self._assert_identical(rng.standard_normal((40, 60)), 10)
+
+    def test_heavy_ties_at_cutoff(self):
+        # Quantized scores force ties that straddle the cut-off — the
+        # case where raw argpartition picks an arbitrary head.
+        rng = np.random.default_rng(8)
+        for trial in range(20):
+            masked = rng.integers(0, 4, size=(16, 50)).astype(np.float64)
+            self._assert_identical(masked, 1 + trial % 12)
+
+    def test_all_tied(self):
+        self._assert_identical(np.zeros((5, 12)), 7)
+
+    def test_rows_with_masked_entries(self):
+        rng = np.random.default_rng(9)
+        masked = rng.integers(0, 3, size=(12, 30)).astype(np.float64)
+        masked[rng.random(masked.shape) < 0.4] = -np.inf
+        masked[0, :] = -np.inf  # fully masked row: length 0, all padding
+        self._assert_identical(masked, 8)
+
+    def test_k_exceeds_items(self):
+        rng = np.random.default_rng(10)
+        self._assert_identical(rng.integers(0, 2, (6, 5)).astype(float), 9)
+
+    def test_empty_blocks(self):
+        self._assert_identical(np.zeros((0, 7)), 3)
+
+    def test_reference_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            top_k_items_batch_reference(np.zeros((2, 3)), 0)

@@ -82,3 +82,65 @@ class TestRunAll:
             engine=ExperimentEngine(ArtifactStore(store_root)),
         )
         assert warm.artifacts["table3"].metrics == cold.artifacts["table3"].metrics
+
+
+class TestReplicates:
+    def test_replicates_aggregate_every_unique_spec(self, tmp_path):
+        engine = ExperimentEngine(ArtifactStore(tmp_path))
+        result = run_all(
+            scale="unit",
+            seed=0,
+            artifacts=("table3",),
+            dataset="tiny",
+            engine=engine,
+            replicates=2,
+        )
+        assert result.replicates == 2
+        specs = {request.spec for request in gather_requests(
+            scale="unit", seed=0, artifacts=("table3",), dataset="tiny"
+        )}
+        assert len(result.replications) == len(specs)
+        for replication in result.replications:
+            assert replication.seeds == (
+                replication.spec.seed,
+                replication.spec.seed + 1,
+            )
+            summary = replication.summary()
+            assert all("mean" in stats and "std" in stats
+                       for stats in summary.values())
+        assert "largest across-seed std" in result.format_summary()
+
+    def test_replicate_seeds_warm_in_phase_one(self, tmp_path):
+        # The extra seed runs must ride the phase-1 batch: a second
+        # replicated run-all against the same store trains nothing.
+        store_root = tmp_path / "cache"
+        run_all(
+            scale="unit",
+            seed=0,
+            artifacts=("table3",),
+            dataset="tiny",
+            engine=ExperimentEngine(ArtifactStore(store_root)),
+            replicates=2,
+        )
+        warm = run_all(
+            scale="unit",
+            seed=0,
+            artifacts=("table3",),
+            dataset="tiny",
+            engine=ExperimentEngine(ArtifactStore(store_root)),
+            replicates=2,
+        )
+        assert warm.misses == 0
+        assert warm.replications  # aggregates rebuilt from pure hits
+
+    def test_default_is_single_seed(self, tmp_path):
+        engine = ExperimentEngine(ArtifactStore(tmp_path))
+        result = run_all(
+            scale="unit", seed=0, artifacts=("fig2",), engine=engine
+        )
+        assert result.replicates == 1
+        assert result.replications == ()
+
+    def test_rejects_nonpositive_replicates(self):
+        with pytest.raises(ValueError):
+            run_all(artifacts=("fig2",), replicates=0)

@@ -77,3 +77,104 @@ class TestErrors:
         np.savez(path, kind="ncf", version=1)
         with pytest.raises(ValueError, match="unknown model kind"):
             load_model(path)
+
+
+class TestExactRoundTrip:
+    """Round trips are bitwise: serving parity depends on exact scores."""
+
+    def test_mf_factors_bitwise(self, tmp_path):
+        model = MatrixFactorization(5, 8, n_factors=4, seed=3)
+        save_model(model, tmp_path / "mf.npz")
+        loaded = load_model(tmp_path / "mf.npz")
+        assert np.array_equal(loaded.user_factors, model.user_factors)
+        assert np.array_equal(loaded.item_factors, model.item_factors)
+        assert loaded.user_factors.dtype == np.float64
+
+    def test_biased_mf_bias_bitwise(self, tmp_path):
+        model = BiasedMatrixFactorization(4, 6, n_factors=3, seed=1)
+        save_model(model, tmp_path / "biased.npz")
+        loaded = load_model(tmp_path / "biased.npz")
+        assert np.array_equal(loaded.item_bias, model.item_bias)
+
+    def test_lightgcn_embeddings_bitwise(self, tmp_path, micro_train):
+        model = LightGCN(micro_train, n_factors=4, n_layers=2, seed=0)
+        save_model(model, tmp_path / "lgcn.npz")
+        loaded = load_model(tmp_path / "lgcn.npz")
+        assert np.array_equal(loaded.base_embeddings, model.base_embeddings)
+
+
+class TestMalformedArchives:
+    """Corrupted/hand-built checkpoints fail loudly at load time."""
+
+    def _mf_arrays(self):
+        return {
+            "user_factors": np.zeros((3, 4)),
+            "item_factors": np.zeros((5, 4)),
+        }
+
+    def test_missing_array(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="mf", version=1, user_factors=np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="missing array 'item_factors'"):
+            load_model(path)
+
+    def test_missing_kind(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=1, **self._mf_arrays())
+        with pytest.raises(ValueError, match="missing array 'kind'"):
+            load_model(path)
+
+    def test_wrong_rank(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="mf", version=1,
+                 user_factors=np.zeros(4), item_factors=np.zeros((5, 4)))
+        with pytest.raises(ValueError, match="user_factors must be 2-D"):
+            load_model(path)
+
+    def test_wrong_dtype(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="mf", version=1,
+                 user_factors=np.zeros((3, 4), dtype=np.float32),
+                 item_factors=np.zeros((5, 4)))
+        with pytest.raises(ValueError, match="dtype float64, got float32"):
+            load_model(path)
+
+    def test_factor_rank_mismatch(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="mf", version=1,
+                 user_factors=np.zeros((3, 4)), item_factors=np.zeros((5, 6)))
+        with pytest.raises(ValueError, match="factor ranks disagree"):
+            load_model(path)
+
+    def test_bias_length_mismatch(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="biased_mf", version=1,
+                 item_bias=np.zeros(7), **self._mf_arrays())
+        with pytest.raises(ValueError, match="item_bias has 7 entries"):
+            load_model(path)
+
+    def test_lightgcn_embedding_rows_mismatch(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="lightgcn", version=1,
+                 base_embeddings=np.zeros((7, 4)), n_users=3, n_items=5,
+                 n_layers=1,
+                 graph_users=np.zeros(2, dtype=np.int64),
+                 graph_items=np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="base_embeddings has 7 rows"):
+            load_model(path)
+
+    def test_lightgcn_graph_dtype(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, kind="lightgcn", version=1,
+                 base_embeddings=np.zeros((8, 4)), n_users=3, n_items=5,
+                 n_layers=1,
+                 graph_users=np.zeros(2, dtype=np.float64),
+                 graph_items=np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="graph_users must have dtype"):
+            load_model(path)
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "distinctive-name.npz"
+        np.savez(path, kind="mf", version=1, user_factors=np.zeros((3, 4)))
+        with pytest.raises(ValueError, match="distinctive-name"):
+            load_model(path)

@@ -1,0 +1,139 @@
+"""Tests for repro.serve.cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import TopKCache
+
+
+def _ids(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestPrefixReads:
+    def test_miss_on_unknown_user(self):
+        cache = TopKCache(5)
+        assert cache.get(0, 3) is None
+
+    def test_hit_returns_prefix(self):
+        cache = TopKCache(5)
+        cache.put(0, _ids(9, 4, 7, 1, 2))
+        assert np.array_equal(cache.get(0, 3), [9, 4, 7])
+        assert np.array_equal(cache.get(0, 5), [9, 4, 7, 1, 2])
+
+    def test_wider_than_cache_is_a_miss(self):
+        cache = TopKCache(5)
+        cache.put(0, _ids(9, 4, 7, 1, 2))
+        assert cache.get(0, 6) is None
+
+    def test_put_truncates_to_cache_k(self):
+        cache = TopKCache(3)
+        cache.put(0, _ids(9, 4, 7, 1, 2))
+        assert np.array_equal(cache.get(0, 3), [9, 4, 7])
+
+    def test_returned_array_is_a_copy(self):
+        cache = TopKCache(3)
+        cache.put(0, _ids(9, 4, 7))
+        out = cache.get(0, 3)
+        out[0] = -99
+        assert np.array_equal(cache.get(0, 3), [9, 4, 7])
+
+    def test_put_rows_bulk(self):
+        cache = TopKCache(3)
+        ids = np.asarray([[5, 2, 1], [8, 3, -1]], dtype=np.int64)
+        cache.put_rows(_ids(10, 11), ids, _ids(3, 2))
+        assert np.array_equal(cache.get(10, 3), [5, 2, 1])
+        assert np.array_equal(cache.get(11, 3), [8, 3])
+
+    def test_len_and_contains(self):
+        cache = TopKCache(3)
+        cache.put(4, _ids(1, 2, 3))
+        assert len(cache) == 1
+        assert 4 in cache
+        assert 5 not in cache
+
+    def test_clear(self):
+        cache = TopKCache(3)
+        cache.put(0, _ids(1, 2, 3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(0, 3) is None
+
+    def test_rejects_nonpositive_cache_k(self):
+        with pytest.raises(ValueError):
+            TopKCache(0)
+
+
+class TestStrictInvalidation:
+    def test_invalidate_drops_entry(self):
+        cache = TopKCache(3)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0, hidden_items=_ids(2))
+        assert cache.get(0, 3) is None
+        assert not cache.is_stale(0)
+
+    def test_invalidate_unknown_user_is_noop(self):
+        cache = TopKCache(3)
+        cache.invalidate(7)
+        assert len(cache) == 0
+
+
+class TestStalenessTolerance:
+    def test_stale_entry_served_within_window(self):
+        cache = TopKCache(3, refresh_every=2)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0)
+        assert cache.is_stale(0)
+        assert np.array_equal(cache.get(0, 3), [1, 2, 3])
+        cache.advance()
+        assert np.array_equal(cache.get(0, 3), [1, 2, 3])
+
+    def test_stale_entry_expires_after_window(self):
+        cache = TopKCache(3, refresh_every=2)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0)
+        cache.advance()
+        cache.advance()
+        assert cache.get(0, 3) is None  # expired -> dropped
+        assert 0 not in cache
+
+    def test_hidden_items_filtered_from_stale_reads(self):
+        # Seen-item filtering stays exact during the staleness window:
+        # the appended item disappears from reads immediately.
+        cache = TopKCache(3, refresh_every=5)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0, hidden_items=_ids(2))
+        assert np.array_equal(cache.get(0, 3), [1, 3])
+
+    def test_hidden_items_accumulate_across_invalidations(self):
+        cache = TopKCache(4, refresh_every=10)
+        cache.put(0, _ids(1, 2, 3, 4))
+        cache.invalidate(0, hidden_items=_ids(2))
+        cache.invalidate(0, hidden_items=_ids(4))
+        assert np.array_equal(cache.get(0, 4), [1, 3])
+
+    def test_repeat_invalidation_keeps_first_dirty_stamp(self):
+        cache = TopKCache(3, refresh_every=2)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0)
+        cache.advance()
+        cache.invalidate(0)  # must not reset the staleness clock
+        cache.advance()
+        assert cache.get(0, 3) is None
+
+    def test_put_clears_staleness(self):
+        cache = TopKCache(3, refresh_every=2)
+        cache.put(0, _ids(1, 2, 3))
+        cache.invalidate(0, hidden_items=_ids(2))
+        cache.put(0, _ids(5, 6, 7))
+        assert not cache.is_stale(0)
+        assert np.array_equal(cache.get(0, 3), [5, 6, 7])
+
+    def test_stale_users_sorted(self):
+        cache = TopKCache(3, refresh_every=9)
+        for user in (5, 1, 3):
+            cache.put(user, _ids(1, 2, 3))
+        cache.invalidate(5)
+        cache.invalidate(1)
+        assert np.array_equal(cache.stale_users(), [1, 5])
+        assert cache.stale_users().dtype == np.int64

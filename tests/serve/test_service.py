@@ -1,0 +1,279 @@
+"""Tests for repro.serve.service — including the serving acceptance bar:
+
+served ``top_k(user, k)`` is bitwise-identical to the offline
+evaluator's ``top_k_items_batch`` list for every user, tie order
+included, both before and after an interaction-append invalidation.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.registry import load_dataset
+from repro.eval.topk import top_k_items_batch
+from repro.models.biased_mf import BiasedMatrixFactorization
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import MatrixFactorization
+from repro.models.persistence import save_model
+from repro.serve import RankingService
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_dataset("tiny", seed=0)
+
+
+@pytest.fixture()
+def model(tiny):
+    return MatrixFactorization(tiny.n_users, tiny.n_items, n_factors=8, seed=1)
+
+
+def offline_top_k(model, train, k):
+    """The evaluator's exact pipeline: score, mask seen, canonical top-K."""
+    users = np.arange(train.n_users, dtype=np.int64)
+    block = np.asarray(model.scores_batch(users), dtype=np.float64).copy()
+    rows, cols = train.positives_in_rows(users)
+    block[rows, cols] = -np.inf
+    return top_k_items_batch(block, k)
+
+
+def assert_serves_offline_lists(service, model, k):
+    ids, lengths = offline_top_k(model, service.train, k)
+    for user in range(service.train.n_users):
+        served = service.top_k(user, k)
+        expected = ids[user, : lengths[user]]
+        assert np.array_equal(served, expected), f"user {user} diverged"
+        assert served.dtype == np.int64
+
+
+class TestBitwiseParity:
+    """The acceptance criterion of the serving layer."""
+
+    @pytest.mark.parametrize("cache_k", [0, 16])
+    @pytest.mark.parametrize("coalesce", [False, True])
+    def test_served_equals_offline_before_and_after_append(
+        self, tiny, model, cache_k, coalesce
+    ):
+        service = RankingService(
+            model, tiny.train, cache_k=cache_k, coalesce=coalesce
+        )
+        if cache_k:
+            service.warmup()
+        assert_serves_offline_lists(service, model, k=10)
+
+        # Append interactions (including each touched user's current #1
+        # recommendation, so the served list MUST change) and re-check
+        # parity against the updated matrix.
+        ids, _ = offline_top_k(model, service.train, 10)
+        users = np.asarray([0, 0, 3], dtype=np.int64)
+        items = np.asarray([ids[0, 0], ids[0, 1], ids[3, 0]], dtype=np.int64)
+        service.add_interactions(users, items)
+        assert_serves_offline_lists(service, model, k=10)
+
+    def test_ties_served_in_canonical_order(self, tiny):
+        # A constant-score model makes every item a tie: the canonical
+        # order (descending score, ascending id) must yield ascending
+        # unseen item ids.
+        class Constant:
+            n_users = tiny.n_users
+            n_items = tiny.n_items
+
+            def scores_batch(self, users):
+                return np.zeros((len(users), self.n_items))
+
+        service = RankingService(Constant(), tiny.train, cache_k=8, coalesce=False)
+        service.warmup()
+        for user in (0, 1, 2):
+            seen = set(tiny.train.items_of(user).tolist())
+            expected = [i for i in range(tiny.n_items) if i not in seen][:5]
+            assert np.array_equal(service.top_k(user, 5), expected)
+
+
+class TestCacheBehaviour:
+    def test_warm_requests_hit_the_cache(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=16, coalesce=False)
+        assert service.warmup() == tiny.n_users
+        assert service.n_cached_users == tiny.n_users
+        service.top_k(0, 10)
+        service.top_k(1, 10)
+        assert service.stats.cache_hits == 2
+        assert service.stats.cache_misses == 0
+        assert service.stats.hit_rate == 1.0
+
+    def test_miss_populates_cache(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=16, coalesce=False)
+        first = service.top_k(5, 10)
+        second = service.top_k(5, 10)
+        assert np.array_equal(first, second)
+        assert service.stats.cache_misses == 1
+        assert service.stats.cache_hits == 1
+        # The miss scored once; the hit did not score again.
+        assert service.stats.scored_users == 1
+
+    def test_request_wider_than_cache_bypasses(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=4, coalesce=False)
+        service.warmup()
+        ids, lengths = offline_top_k(model, tiny.train, 12)
+        got = service.top_k(2, 12)
+        assert np.array_equal(got, ids[2, : lengths[2]])
+
+    def test_append_invalidates_only_touched_users(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=16, coalesce=False)
+        service.warmup()
+        scored_before = service.stats.scored_users
+        touched = service.add_interactions([3], [7])
+        assert touched == 1
+        service.top_k(0, 10)  # untouched user: still a hit
+        assert service.stats.cache_hits == 1
+        service.top_k(3, 10)  # touched user: strict mode -> recompute
+        assert service.stats.cache_misses == 1
+        assert service.stats.scored_users == scored_before + 1
+
+    def test_cache_disabled_scores_every_request(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=0, coalesce=False)
+        assert service.warmup() == 0
+        service.top_k(0, 10)
+        service.top_k(0, 10)
+        assert service.stats.cache_hits == 0
+        assert service.stats.scored_users == 2
+
+
+class TestStalenessMode:
+    def test_stale_entries_served_with_fresh_items_hidden(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, cache_k=16, refresh_every=100, coalesce=False
+        )
+        service.warmup()
+        before = service.top_k(0, 10)
+        service.add_interactions([0], [before[0]])
+        stale = service.top_k(0, 10)
+        # Stale read: the old ranking with the newly seen item struck
+        # out (never re-served), backfilled from the deeper cache prefix.
+        # With a frozen model that equals the fresh ranking exactly.
+        assert before[0] not in stale
+        ids, lengths = offline_top_k(model, service.train, 10)
+        assert np.array_equal(stale, ids[0, : lengths[0]])
+        assert service.stats.cache_hits == 2  # both reads were cache hits
+        assert service.stats.scored_users == tiny.n_users  # warmup only
+
+    def test_refresh_stale_restores_exactness(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, cache_k=16, refresh_every=100, coalesce=False
+        )
+        service.warmup()
+        ids, _ = offline_top_k(model, tiny.train, 10)
+        service.add_interactions([0], [ids[0, 0]])
+        assert service.refresh_stale() == 1
+        assert_serves_offline_lists(service, model, k=10)
+
+    def test_stale_entry_expires_into_recompute(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, cache_k=16, refresh_every=2, coalesce=False
+        )
+        service.warmup()
+        service.add_interactions([0], [1])
+        service.top_k(0, 10)  # request 1: stale hit
+        service.top_k(0, 10)  # request 2: window expired -> miss+recompute
+        assert service.stats.cache_misses == 1
+        assert_serves_offline_lists(service, model, k=10)
+
+
+class TestBatchAndConcurrency:
+    def test_top_k_many_matches_scalar(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=16, coalesce=False)
+        users = [5, 0, 5, 9]
+        batched = service.top_k_many(users, k=10)
+        reference = RankingService(model, tiny.train, cache_k=0, coalesce=False)
+        for user, got in zip(users, batched):
+            assert np.array_equal(got, reference.top_k(user, 10))
+
+    def test_top_k_many_single_gemm_for_misses(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=16, coalesce=False)
+        service.top_k_many([1, 2, 3, 2], k=10)
+        # Three unique missing users -> one block of three scored rows.
+        assert service.stats.scored_users == 3
+        assert service.stats.requests == 4
+
+    def test_concurrent_coalesced_requests_are_exact(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, cache_k=0, coalesce=True, max_wait=0.05
+        )
+        ids, lengths = offline_top_k(model, tiny.train, 10)
+        users = list(range(tiny.n_users)) * 2
+        results = {}
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def client(worker, share):
+            barrier.wait()
+            try:
+                for user in share:
+                    results[(worker, user)] = service.top_k(user, 10)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        shares = [users[i::8] for i in range(8)]
+        threads = [
+            threading.Thread(target=client, args=(worker, share))
+            for worker, share in enumerate(shares)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        for (_, user), got in results.items():
+            assert np.array_equal(got, ids[user, : lengths[user]])
+        assert service.coalescer_stats.requests == len(users)
+
+
+class TestValidationAndCheckpoints:
+    def test_universe_mismatch_rejected(self, tiny, model):
+        other = load_dataset("tiny", seed=0).train
+        bad = MatrixFactorization(tiny.n_users + 1, tiny.n_items, 4, seed=0)
+        with pytest.raises(ValueError, match="does not match"):
+            RankingService(bad, other)
+
+    def test_out_of_range_user_rejected(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=0, coalesce=False)
+        with pytest.raises(IndexError):
+            service.top_k(tiny.n_users, 5)
+        with pytest.raises(IndexError):
+            service.top_k(-1, 5)
+        with pytest.raises(IndexError):
+            service.top_k_many([0, tiny.n_users], 5)
+
+    def test_bad_k_rejected(self, tiny, model):
+        service = RankingService(model, tiny.train, cache_k=0, coalesce=False)
+        with pytest.raises(ValueError):
+            service.top_k(0, 0)
+
+    @pytest.mark.parametrize("kind", ["mf", "biased_mf"])
+    def test_from_checkpoint_mf_family(self, tiny, tmp_path, kind):
+        cls = {
+            "mf": MatrixFactorization,
+            "biased_mf": BiasedMatrixFactorization,
+        }[kind]
+        trained = cls(tiny.n_users, tiny.n_items, n_factors=8, seed=3)
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        service = RankingService.from_checkpoint(
+            path, tiny.train, cache_k=8, coalesce=False
+        )
+        assert_serves_offline_lists(service, trained, k=8)
+
+    def test_from_checkpoint_mf_requires_train(self, tiny, tmp_path):
+        trained = MatrixFactorization(tiny.n_users, tiny.n_items, 8, seed=3)
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        with pytest.raises(ValueError, match="stores no interactions"):
+            RankingService.from_checkpoint(path)
+
+    def test_from_checkpoint_lightgcn_rebuilds_graph(self, tiny, tmp_path):
+        trained = LightGCN(tiny.train, n_factors=8, n_layers=1, seed=3)
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        service = RankingService.from_checkpoint(path, cache_k=8, coalesce=False)
+        assert service.train.n_interactions == tiny.train.n_interactions
+        assert_serves_offline_lists(service, trained, k=8)

@@ -252,3 +252,33 @@ class TestLintCommand:
 
         root = Path(__file__).resolve().parents[1]
         assert main(["lint", str(root / "src"), "--root", str(root)]) == 0
+
+
+class TestServeBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.dataset is None
+        assert args.requests == 4000
+        assert args.cache_k == 100
+        assert args.max_wait_ms == 1.0
+
+    def test_run_all_replicates_flag(self):
+        args = build_parser().parse_args(["run-all", "--replicates", "10"])
+        assert args.replicates == 10
+        assert build_parser().parse_args(["run-all"]).replicates == 1
+
+    def test_serve_bench_runs_on_tiny(self, capsys, tmp_path):
+        json_path = tmp_path / "serve.json"
+        code = main(
+            ["serve-bench", "--dataset", "tiny", "--requests", "64",
+             "--clients", "2", "--cache-k", "8", "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-vs-uncached speedup" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["dataset"] == "synthetic:tiny"
+        assert payload["warm_cache"]["qps"] > 0
+        assert payload["uncached"]["p99_ms"] >= payload["uncached"]["p50_ms"]
