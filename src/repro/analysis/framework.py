@@ -141,6 +141,7 @@ def rule_registry() -> Dict[str, Type[Rule]]:
     # Import for the registration side effect; idempotent.
     import repro.analysis.contracts  # noqa: F401  (registration import)
     import repro.analysis.determinism  # noqa: F401  (registration import)
+    import repro.analysis.robustness  # noqa: F401  (registration import)
 
     return dict(_REGISTRY)
 

@@ -1,0 +1,135 @@
+"""Robustness rules: R006 (no blind exception swallowing).
+
+The fault-tolerance layers (engine executor, serving, the reliability
+primitives themselves) are exactly the code where a silently swallowed
+exception is most dangerous: a retry loop that eats the error it should
+count, a breaker that never sees the failure it should trip on, a
+degraded path that hides *why* it degraded.  R006 enforces that every
+``except`` in those paths either re-raises, logs, or actually consumes
+the caught exception — anything else is an invisible control-flow edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.determinism import build_import_table, resolve_dotted
+from repro.analysis.framework import LintContext, ModuleFile, Rule, register
+
+__all__ = ["BlindExceptRule"]
+
+
+#: Path fragments marking the fault-handling code paths R006 governs.
+_ROBUST_PATH_MARKERS = ("/experiments/engine/", "/serve/", "/reliability/")
+
+#: Method attribute names treated as "this handler reports the error".
+_LOGGING_ATTRS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+#: Dotted call targets that count as reporting even without a logger.
+_REPORTING_CALLS = frozenset(
+    {"warnings.warn", "traceback.print_exc", "traceback.print_exception"}
+)
+
+
+def in_robust_path(relpath: str) -> bool:
+    """True for modules whose exception handling R006 audits."""
+    probe = "/" + relpath
+    return any(marker in probe for marker in _ROBUST_PATH_MARKERS)
+
+
+def _handler_raises(handler: ast.ExceptHandler) -> bool:
+    """Whether any statement in the handler body re-raises."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_logs(handler: ast.ExceptHandler, imports) -> bool:
+    """Whether the handler body calls a logging/reporting function."""
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOGGING_ATTRS
+        ):
+            return True
+        dotted = resolve_dotted(node.func, imports)
+        if dotted in _REPORTING_CALLS:
+            return True
+    return False
+
+
+def _handler_uses_binding(handler: ast.ExceptHandler) -> bool:
+    """Whether ``except X as e:`` binds a name the body actually reads."""
+    if handler.name is None:
+        return False
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return True
+    return False
+
+
+@register
+class BlindExceptRule(Rule):
+    """R006: no blind exception swallowing in fault-handling paths.
+
+    A handler under ``experiments/engine/``, ``serve/`` or
+    ``reliability/`` must do at least one of: re-raise, log/report, or
+    read the exception it bound (``except X as e:`` with ``e`` used).
+    Bare ``except:`` is always flagged — it catches ``SystemExit`` and
+    ``KeyboardInterrupt`` too; the explicit spelling is
+    ``except BaseException as error:`` with the error delivered
+    somewhere.  Intentional swallows (a stat race on a vanished file, a
+    best-effort cleanup) stay possible via an auditable
+    ``# repro: noqa[R006] -- why`` on the ``except`` line.
+    """
+
+    id = "R006"
+    title = "no-blind-except"
+    invariant = (
+        "every except handler in engine/serve/reliability re-raises, "
+        "logs, or consumes the caught exception; no silent swallows"
+    )
+
+    _HINT = (
+        "re-raise, log the error, or bind it (`except X as e:`) and use "
+        "it; justify true no-ops with `# repro: noqa[R006] -- why`"
+    )
+
+    def check_file(
+        self, module: ModuleFile, context: LintContext
+    ) -> Iterator[Diagnostic]:
+        if not in_robust_path(module.relpath):
+            return
+        imports = build_import_table(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    module.path,
+                    node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides which failures this path expects",
+                    hint="catch a named exception type (or BaseException "
+                    "explicitly) and deliver the error somewhere",
+                )
+                continue
+            if (
+                _handler_raises(node)
+                or _handler_logs(node, imports)
+                or _handler_uses_binding(node)
+            ):
+                continue
+            yield self.diagnostic(
+                module.path,
+                node,
+                "exception swallowed without re-raise, logging, or use of "
+                "the caught error: an invisible control-flow edge in a "
+                "fault-handling path",
+                hint=self._HINT,
+            )

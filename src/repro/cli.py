@@ -19,11 +19,13 @@ Commands
     Benchmark the online serving layer (uncached vs warm-cache vs
     coalesced) and optionally write ``BENCH_serve.json``.
 ``cache``
-    Inspect (``ls``) or delete (``clear``) the run cache.
+    Inspect (``ls``), delete (``clear``), or sweep orphaned staging
+    litter out of (``gc``) the run cache.
 ``lint``
-    Run the repo-invariant static analyzer (rules R001–R005: global RNG,
+    Run the repo-invariant static analyzer (rules R001–R006: global RNG,
     wallclock in keyed paths, run-key coverage, sampler contracts,
-    unordered iteration).  Exit code 1 on any unsuppressed error.
+    unordered iteration, blind excepts).  Exit code 1 on any
+    unsuppressed error.
 """
 
 from __future__ import annotations
@@ -80,6 +82,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="checkpoint each run's best model into the cache "
         "(model.npz next to result.json; incompatible with --no-cache)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per training run before it is quarantined "
+        "(deterministic seeded backoff between attempts; default: 3 "
+        "for the process pool, 1 for the sequential backend)",
     )
 
 
@@ -221,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint", help="check the tree against the repo's determinism/"
-        "cache-key/sampler invariants (R001–R005)"
+        "cache-key/sampler/robustness invariants (R001–R006)"
     )
     lint.add_argument(
         "paths",
@@ -261,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     cache_ls.add_argument("--cache-dir", default=None, metavar="PATH")
     cache_clear = cache_actions.add_parser("clear", help="delete cached runs")
     cache_clear.add_argument("--cache-dir", default=None, metavar="PATH")
+    cache_gc = cache_actions.add_parser(
+        "gc",
+        help="remove staging litter left by crashed writers (committed "
+        "entries are never touched)",
+    )
+    cache_gc.add_argument("--cache-dir", default=None, metavar="PATH")
+    cache_gc.add_argument(
+        "--min-age-hours",
+        type=float,
+        default=24.0,
+        metavar="H",
+        help="only reap staging files older than this (default 24h; 0 "
+        "sweeps everything — safe only when no writer is running)",
+    )
 
     return parser
 
@@ -271,9 +296,19 @@ def _make_engine(args: argparse.Namespace):
 
     if args.save_models and args.no_cache:
         raise SystemExit("--save-models needs the cache; drop --no-cache")
+    retry_policy = None
+    if args.retries is not None:
+        from repro.reliability import RetryPolicy
+
+        if args.retries < 1:
+            raise SystemExit(f"--retries must be >= 1, got {args.retries}")
+        retry_policy = RetryPolicy(max_attempts=args.retries)
     store = None if args.no_cache else _resolve_store(args.cache_dir)
     return ExperimentEngine(
-        store, workers=args.workers, save_models=args.save_models
+        store,
+        workers=args.workers,
+        save_models=args.save_models,
+        retry_policy=retry_policy,
     )
 
 
@@ -329,10 +364,16 @@ def _artifact_kwargs(args: argparse.Namespace) -> Dict[str, object]:
 
 
 def _note_unused_engine_flags(args: argparse.Namespace) -> None:
-    if args.workers != 1 or args.cache_dir or args.no_cache or args.save_models:
+    if (
+        args.workers != 1
+        or args.cache_dir
+        or args.no_cache
+        or args.save_models
+        or args.retries is not None
+    ):
         print(
             f"note: {args.artifact} trains nothing; --workers/--cache-dir/"
-            "--no-cache/--save-models have no effect on it",
+            "--no-cache/--save-models/--retries have no effect on it",
             file=sys.stderr,
         )
 
@@ -457,6 +498,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"removed {removed} cached runs from {store.version_dir}")
+        return 0
+    if args.cache_command == "gc":
+        if args.min_age_hours < 0:
+            raise SystemExit(
+                f"--min-age-hours must be >= 0, got {args.min_age_hours}"
+            )
+        removed = store.gc_staging(args.min_age_hours * 3600.0)
+        print(
+            f"removed {removed} orphaned staging file(s) from {store.root}"
+        )
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 

@@ -40,6 +40,7 @@ from repro.experiments.engine.request import (
     run_key,
 )
 from repro.experiments.engine.store import ArtifactStore, default_cache_dir
+from repro.reliability.report import GridExecutionError, JobFailure, RunReport
 
 __all__ = [
     "ArtifactStore",
@@ -47,9 +48,12 @@ __all__ = [
     "EngineRequest",
     "EngineResult",
     "ExperimentEngine",
+    "GridExecutionError",
     "Job",
+    "JobFailure",
     "JobGraph",
     "ProcessPoolRunExecutor",
+    "RunReport",
     "SequentialExecutor",
     "default_cache_dir",
     "execute_request",

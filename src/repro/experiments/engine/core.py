@@ -11,10 +11,22 @@ modules use.  Resolution order per request:
 
 Results come back aligned with the request list, so callers keep their
 grid shape without tracking keys themselves.
+
+Failure handling: executors yield a
+:class:`~repro.reliability.report.JobFailure` for jobs that exhausted
+their retries instead of raising, so the engine finishes the grid,
+commits every completed payload (streaming, as results arrive — a
+crashed grid resumes warm from the store), records a
+:class:`~repro.reliability.report.RunReport` on :attr:`last_report`,
+and only then raises :class:`~repro.reliability.report.GridExecutionError`
+when quarantined jobs remain.  Store commits themselves are retried
+under a short policy and degrade to a warning — a flaky cache mount
+must never take down a finished computation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -27,8 +39,20 @@ from repro.experiments.engine.executor import (
 from repro.experiments.engine.jobs import JobGraph
 from repro.experiments.engine.request import EngineRequest, canonical_payload
 from repro.experiments.engine.store import ArtifactStore
+from repro.reliability.policy import RetryPolicy, call_with_retry
+from repro.reliability.report import GridExecutionError, JobFailure, RunReport
+from repro.utils.logging import get_logger
 
 __all__ = ["EngineResult", "EngineStats", "ExperimentEngine", "resolve_engine"]
+
+_LOGGER = get_logger("experiments.engine.core")
+
+#: Store commits retry briefly then degrade to a warning: the payload is
+#: still held in the in-memory memo, so the grid's results are complete
+#: either way and only warm-resume suffers.
+COMMIT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.02, multiplier=2.0, max_delay=0.5
+)
 
 
 @dataclass(frozen=True)
@@ -136,6 +160,10 @@ class ExperimentEngine:
         :class:`~repro.train.callbacks.CheckpointCallback` into the store
         (requires ``store``); the payload's ``checkpoint`` field records
         the path and :meth:`load_model` restores it.
+    retry_policy:
+        Per-job retry budget handed to the executor the engine builds
+        from ``workers`` (ignored when ``executor`` is given — configure
+        the instance directly).  ``None`` keeps each backend's default.
     """
 
     def __init__(
@@ -145,12 +173,13 @@ class ExperimentEngine:
         workers: int = 1,
         executor=None,
         save_models: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if executor is None:
             executor = (
-                SequentialExecutor()
+                SequentialExecutor(retry_policy=retry_policy)
                 if workers <= 1
-                else ProcessPoolRunExecutor(workers)
+                else ProcessPoolRunExecutor(workers, retry_policy=retry_policy)
             )
         self.executor = executor
         self.store = store
@@ -158,6 +187,9 @@ class ExperimentEngine:
             raise ValueError("save_models=True requires a store")
         self.save_models = bool(save_models)
         self.stats = EngineStats()
+        #: Per-key accounting of the most recent :meth:`run_many`.
+        self.last_report: Optional[RunReport] = None
+        self._commit_sleeper = time.sleep
         self._memo: Dict[str, EngineResult] = {}
 
     # ------------------------------------------------------------------ #
@@ -176,9 +208,11 @@ class ExperimentEngine:
         keys = [graph.add(request).key for request in requests]
 
         pending = []
+        cached_keys: List[str] = []
         for job in graph.jobs():
             if job.key in self._memo:
                 self.stats.hits += 1
+                cached_keys.append(job.key)
                 continue
             if self.store is not None:
                 payload = self.store.load(job.key)
@@ -200,9 +234,12 @@ class ExperimentEngine:
                         cached=True,
                     )
                     self.stats.hits += 1
+                    cached_keys.append(job.key)
                     continue
             pending.append(job)
 
+        executed: List[str] = []
+        quarantined: Dict[str, JobFailure] = {}
         if pending:
             checkpoint_paths: Dict[str, str] = {}
             if self.save_models and self.store is not None:
@@ -211,15 +248,54 @@ class ExperimentEngine:
                     path.parent.mkdir(parents=True, exist_ok=True)
                     checkpoint_paths[job.key] = str(path)
             for key, payload in self.executor.run(pending, checkpoint_paths):
+                if isinstance(payload, JobFailure):
+                    quarantined[key] = payload
+                    continue
                 request = graph[key].request
                 if self.store is not None:
-                    self.store.store(key, canonical_payload(request), payload)
+                    # Streaming commit: each payload lands in the store
+                    # the moment it exists, so an interruption later in
+                    # the grid loses nothing already computed.
+                    self._commit(key, canonical_payload(request), payload)
                 self._memo[key] = EngineResult(
                     key=key, request=request, payload=payload, cached=False
                 )
                 self.stats.misses += 1
+                executed.append(key)
 
+        self.last_report = RunReport(
+            succeeded=tuple(executed),
+            cached=tuple(cached_keys),
+            retried=dict(getattr(self.executor, "retry_counts", {}) or {}),
+            quarantined=quarantined,
+        )
+        if quarantined:
+            raise GridExecutionError(self.last_report)
         return [self._memo[key] for key in keys]
+
+    def _commit(self, key: str, request_payload: dict, payload: dict) -> None:
+        """Store one payload, retrying transient IO; never fatal."""
+        try:
+            call_with_retry(
+                lambda: self.store.store(key, request_payload, payload),
+                COMMIT_RETRY_POLICY,
+                key=key,
+                retry_on=(OSError,),
+                sleeper=self._commit_sleeper,
+                on_retry=lambda attempt, error: _LOGGER.warning(
+                    "commit of run %s failed (attempt %d: %s); retrying",
+                    key[:12],
+                    attempt,
+                    error,
+                ),
+            )
+        except OSError as error:
+            _LOGGER.warning(
+                "giving up committing run %s to the store (%s); the result "
+                "stays available in memory for this process",
+                key[:12],
+                error,
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -10,18 +10,34 @@ presence is the commit marker, so an interrupted run leaves at most an
 uncommitted directory that the next grid simply recomputes.  A corrupted
 or schema-mismatched entry is treated as a miss (and evicted) rather than
 an error — the cache must never be able to wedge an experiment.
+
+Crash consistency: the staging file is flushed and ``fsync``'d before
+the rename, and the entry directory is fsync'd after it (best-effort),
+so a machine crash can leave stale staging litter but never a torn
+``result.json``.  Litter from crashed writers is age-gated garbage the
+:meth:`ArtifactStore.gc_staging` sweep (``repro cache gc``) removes.
+
+Fault injection: a :class:`~repro.reliability.faults.FaultInjector`
+passed at construction intercepts the commit path (site
+``"store.commit"``) so IO errors and corrupted staged bytes are testable
+on demand — ``tests/experiments/engine/test_store.py`` tortures
+concurrent writers with it.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import shutil
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.experiments.engine.request import CACHE_FORMAT_VERSION
+from repro.reliability.faults import FaultInjector
 from repro.utils.logging import get_logger
 
 __all__ = ["ArtifactStore", "CacheEntry", "default_cache_dir"]
@@ -33,6 +49,16 @@ PathLike = Union[str, Path]
 _RESULT_FILE = "result.json"
 _REQUEST_FILE = "request.json"
 _MODEL_FILE = "model.npz"
+
+#: Commit-path instrumentation point for injected faults.
+COMMIT_FAULT_SITE = "store.commit"
+
+#: Staging litter younger than this is presumed in flight and kept.
+DEFAULT_STAGING_GC_AGE = 24 * 3600.0
+
+#: Process-wide staging-name uniquifier: pid alone is not enough once
+#: multiple threads of one process commit concurrently.
+_STAGING_COUNTER = itertools.count()
 
 
 def default_cache_dir() -> Path:
@@ -56,11 +82,21 @@ class CacheEntry:
 
 
 class ArtifactStore:
-    """Versioned key → payload store with corruption recovery."""
+    """Versioned key → payload store with corruption recovery.
 
-    def __init__(self, root: PathLike) -> None:
+    ``fault_injector`` (tests/chaos harness only) intercepts the commit
+    path; production stores pass ``None`` and pay nothing.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.root = Path(root).expanduser()
         self.version_dir = self.root / f"v{CACHE_FORMAT_VERSION}"
+        self._faults = fault_injector
 
     # ------------------------------------------------------------------ #
     # paths
@@ -145,14 +181,50 @@ class ArtifactStore:
             "request": request_payload,
             "payload": payload,
         }
+        data = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        if self._faults is not None:
+            self._faults.fire(COMMIT_FAULT_SITE, key)
+            data = self._faults.corrupt(COMMIT_FAULT_SITE, key, data)
         target = directory / _RESULT_FILE
-        # Unique staging name: two processes committing the same key (a
-        # shared cache on a network mount) must never interleave writes
-        # into one temp file — last rename wins, both files were whole.
-        staging = directory / f"{_RESULT_FILE}.{os.getpid()}.tmp"
-        staging.write_text(json.dumps(document, sort_keys=True) + "\n")
-        os.replace(staging, target)
+        # Unique staging name: concurrent committers of the same key —
+        # other processes on a shared cache mount, other threads of this
+        # process — must never interleave writes into one temp file.
+        # Last rename wins; every renamed file was whole and fsync'd.
+        staging = directory / (
+            f"{_RESULT_FILE}.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_STAGING_COUNTER)}.tmp"
+        )
+        try:
+            with open(staging, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                # Durability before visibility: the rename below must
+                # never publish a file whose bytes are still in flight.
+                os.fsync(handle.fileno())
+            os.replace(staging, target)
+        except BaseException:
+            # Failed commits must not leave litter for gc to age out
+            # when we can clean up right now (the store raised, the
+            # engine will retry into a fresh staging name).
+            staging.unlink(missing_ok=True)
+            raise
+        self._fsync_dir(directory)
         return target
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError as exc:  # e.g. platforms without O_RDONLY dirs
+            _LOGGER.debug("cannot open %s for fsync (%s)", directory, exc)
+            return
+        try:
+            os.fsync(fd)
+        except OSError as exc:
+            _LOGGER.debug("directory fsync of %s failed (%s)", directory, exc)
+        finally:
+            os.close(fd)
 
     def evict(self, key: str) -> None:
         """Remove one entry (no error if absent)."""
@@ -187,12 +259,12 @@ class ArtifactStore:
                 ]["spec"]
                 label = f"{spec['dataset']}/{spec['model']}/{spec['sampler']}"
                 seed = int(spec["seed"])
-            except (ValueError, KeyError, TypeError, OSError):
+            except (ValueError, KeyError, TypeError, OSError):  # repro: noqa[R006] -- unreadable metadata degrades the listing label, never the payload
                 pass
             try:
                 stat = path.stat()
-            except OSError:
-                continue  # entry vanished between keys() and here
+            except OSError:  # repro: noqa[R006] -- entry vanished between keys() and here; a miss, not an error
+                continue
             out.append(
                 CacheEntry(
                     key=key,
@@ -210,6 +282,55 @@ class ArtifactStore:
         count = len(self.keys())
         shutil.rmtree(self.version_dir, ignore_errors=True)
         return count
+
+    def gc_staging(
+        self,
+        min_age_seconds: float = DEFAULT_STAGING_GC_AGE,
+        *,
+        now: Optional[float] = None,
+    ) -> int:
+        """Remove staging litter left by crashed writers; returns count.
+
+        Targets ``*.tmp`` staging files and ``staging-*`` scratch
+        directories anywhere under the store root (all format versions —
+        litter under an old version dir is still litter).  Age-gated on
+        mtime so an in-flight commit from a live writer is never
+        reaped; pass ``min_age_seconds=0`` to sweep everything (tests,
+        or an operator who knows no writer is running).  ``now`` is the
+        reference timestamp for the age gate — explicit in tests,
+        defaulting to the current wallclock (GC compares filesystem
+        mtimes; nothing here feeds a run key).
+        """
+        if min_age_seconds < 0:
+            raise ValueError(
+                f"min_age_seconds must be >= 0, got {min_age_seconds}"
+            )
+        if not self.root.is_dir():
+            return 0
+        if now is None:
+            now = time.time()  # repro: noqa[R002] -- GC age gate over file mtimes; never enters a run key or payload
+        removed = 0
+        candidates = list(self.root.rglob("*.tmp")) + list(
+            self.root.rglob("staging-*")
+        )
+        for path in candidates:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:  # repro: noqa[R006] -- raced with the owning writer's own cleanup; nothing left to reap
+                continue
+            if age < min_age_seconds:
+                continue
+            try:
+                if path.is_dir():
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink()
+            except OSError as exc:
+                _LOGGER.warning("could not gc %s (%s)", path, exc)
+                continue
+            _LOGGER.info("gc: removed orphaned staging %s", path)
+            removed += 1
+        return removed
 
     def __len__(self) -> int:
         return len(self.keys())

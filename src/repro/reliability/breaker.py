@@ -1,0 +1,131 @@
+"""Circuit breaker: stop hammering a dependency that keeps failing.
+
+Classic three-state machine over an injectable monotonic clock:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures every call
+  is refused (:class:`CircuitOpenError`) until ``cooldown`` seconds have
+  elapsed on the breaker's clock.
+* **half-open** — one probe call is admitted after the cooldown; success
+  closes the breaker, failure re-opens it (and restarts the cooldown).
+
+The breaker never sees wallclock — ``time.perf_counter`` by default,
+a fake clock in tests — and does no locking of its own: callers that
+share one breaker across threads serialize access (the serving layer
+consults it under the service lock).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.utils.validation import check_positive
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(RuntimeError):
+    """Refused without calling through: the breaker is open."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure trip wire with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown:
+        Seconds (on ``clock``'s scale) the breaker stays open before
+        admitting a half-open probe.
+    clock:
+        Zero-argument monotonic clock; injectable for deterministic
+        tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.failure_threshold = int(
+            check_positive(failure_threshold, "failure_threshold")
+        )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime counts, for health endpoints.
+        self.opens = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooled down."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (half-open admits one)."""
+        state = self.state
+        if state == self.OPEN:
+            self.rejections += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def call(self, fn: Callable[[], object]):
+        """Guarded invocation: refuse when open, record the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive_failures} consecutive "
+                f"failures; retry after {self.cooldown:.1f}s cooldown"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self.opens += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}, "
+            f"opens={self.opens})"
+        )

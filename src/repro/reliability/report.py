@@ -1,0 +1,79 @@
+"""Per-key execution accounting: what survived, what it cost, what died.
+
+A grid that meets partial failure should report it the way the cache
+reports hits: structured, per key, after doing everything it could.
+:class:`RunReport` is that summary — the engine builds one on every
+``run_many`` and raises :class:`GridExecutionError` (carrying the
+report) only after all completed payloads have been committed, so a
+crashed grid resumes warm from the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["GridExecutionError", "JobFailure", "RunReport"]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Terminal failure of one job after exhausting its retries."""
+
+    key: str
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:
+        return f"{self.key[:12]}: {self.error} (after {self.attempts} attempts)"
+
+
+@dataclass
+class RunReport:
+    """Outcome of one engine batch, per run key.
+
+    ``retried`` counts *recovered* failures: a key appears there when at
+    least one attempt failed but a later one succeeded.  ``quarantined``
+    holds the jobs reported failed after exhausting their retry budget —
+    they never abort the rest of the grid.
+    """
+
+    succeeded: Tuple[str, ...] = ()
+    cached: Tuple[str, ...] = ()
+    retried: Dict[str, int] = field(default_factory=dict)
+    quarantined: Dict[str, JobFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    @property
+    def total(self) -> int:
+        return len(self.succeeded) + len(self.cached) + len(self.quarantined)
+
+    def format(self) -> str:
+        lines = [
+            f"run report: {len(self.succeeded)} executed, "
+            f"{len(self.cached)} cached, {len(self.retried)} retried, "
+            f"{len(self.quarantined)} quarantined"
+        ]
+        for key in sorted(self.retried):
+            lines.append(f"  retried {key[:12]} x{self.retried[key]}")
+        for key in sorted(self.quarantined):
+            lines.append(f"  quarantined {self.quarantined[key]}")
+        return "\n".join(lines)
+
+
+class GridExecutionError(RuntimeError):
+    """Some jobs failed terminally; everything else was completed and
+    committed first (re-running the same grid resumes from the cache)."""
+
+    def __init__(self, report: RunReport) -> None:
+        self.report = report
+        failures = "; ".join(
+            str(report.quarantined[key]) for key in sorted(report.quarantined)
+        )
+        super().__init__(
+            f"{len(report.quarantined)} of {report.total} jobs failed after "
+            f"retries: {failures}"
+        )

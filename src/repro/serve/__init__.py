@@ -9,12 +9,17 @@ staleness-tolerant invalidation, a micro-batching request coalescer, and
 the argpartition partial-sort ranking kernel.  ``repro serve-bench`` and
 ``benchmarks/bench_serve.py`` measure sustained qps, p50/p99 latency and
 cache hit-rate into ``BENCH_serve.json``.
+
+Fault tolerance: scoring runs behind a circuit breaker, follower waits
+are deadline-bounded, and scoring failures degrade to stale-cache or
+popularity answers counted in :class:`~repro.serve.service.ServeStats`
+and surfaced by :meth:`~repro.serve.service.RankingService.health`.
 """
 
 from repro.serve.bench import ServeBenchResult, run_serve_bench
 from repro.serve.cache import TopKCache
 from repro.serve.coalescer import CoalescerStats, RequestCoalescer
-from repro.serve.service import RankingService, ServeStats
+from repro.serve.service import RankingService, ServeStats, ServiceHealth
 
 __all__ = [
     "CoalescerStats",
@@ -22,6 +27,7 @@ __all__ = [
     "RequestCoalescer",
     "ServeBenchResult",
     "ServeStats",
+    "ServiceHealth",
     "TopKCache",
     "run_serve_bench",
 ]

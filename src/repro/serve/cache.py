@@ -86,9 +86,12 @@ class TopKCache:
         """The user's top-``k`` prefix, or ``None`` on a miss.
 
         A miss is: no entry, ``k > cache_k``, or — in staleness mode — an
-        invalidated entry whose tolerance window has expired (the entry
-        is dropped so the caller's recompute replaces it).  The returned
-        array is freshly sliced/copied and safe to hand to callers.
+        invalidated entry whose tolerance window has expired.  An expired
+        entry is *retained* (still a miss on every :meth:`get`): the
+        caller's recompute overwrites it via :meth:`put`, and if that
+        recompute fails the degraded path can still :meth:`peek` the last
+        known list.  The returned array is freshly sliced/copied and safe
+        to hand to callers.
         """
         if k > self.cache_k:
             return None
@@ -101,11 +104,31 @@ class TopKCache:
                 self.refresh_every is None
                 or self._step - dirty_at >= self.refresh_every
             ):
-                self._drop(user)
                 return None
             hidden = self._hidden.get(user)
             if hidden is not None and hidden.size:
                 entry = entry[~np.isin(entry, hidden)]
+        return entry[:k].copy()
+
+    def peek(self, user: int, k: int) -> Optional[np.ndarray]:
+        """Best-effort read for degraded serving: the user's cached
+        prefix even when invalidated or expired.
+
+        Unlike :meth:`get` this never drops an entry and ignores the
+        staleness window — a stale-but-filtered list is a better answer
+        than nothing when the scorer is down.  Seen-item hygiene is
+        preserved: items recorded at invalidation are still struck.
+        Returns ``None`` only when no entry exists at all or
+        ``k > cache_k``.
+        """
+        if k > self.cache_k:
+            return None
+        entry = self._entries.get(user)
+        if entry is None:
+            return None
+        hidden = self._hidden.get(user)
+        if hidden is not None and hidden.size:
+            entry = entry[~np.isin(entry, hidden)]
         return entry[:k].copy()
 
     def is_stale(self, user: int) -> bool:

@@ -29,12 +29,24 @@ with ``refresh_every`` (stale lists never contain seen items; see
 :mod:`repro.serve.cache`).  The model itself is checkpoint-frozen:
 appends change what is *filtered*, not what is *scored* (online model
 updates are the ROADMAP's incremental-training item, not this layer).
+
+Fault tolerance (``tests/serve/test_service.py::TestGracefulDegradation``):
+scoring runs behind a :class:`~repro.reliability.breaker.CircuitBreaker`,
+and when it fails — an exception out of the gemm, an open breaker, a
+coalescer deadline — the service *degrades* instead of erroring: it
+serves the user's stale cached list if one survives (seen-item filtering
+intact), else a popularity-ranked fallback over the user's unseen items.
+Every degraded answer is counted in :class:`ServeStats` and surfaced by
+:meth:`RankingService.health`, so operators see the lie immediately;
+exact bitwise parity with the offline evaluator is guaranteed only for
+non-degraded answers.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -42,11 +54,21 @@ import numpy as np
 
 from repro.data.interactions import InteractionMatrix
 from repro.eval.topk import top_k_items_batch
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.faults import FaultInjector
+from repro.reliability.policy import DeadlineExceeded
 from repro.serve.cache import TopKCache
 from repro.serve.coalescer import RequestCoalescer
+from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
 
-__all__ = ["RankingService", "ServeStats"]
+__all__ = ["RankingService", "ServeStats", "ServiceHealth"]
+
+_LOGGER = get_logger("serve.service")
+
+#: Scoring-path instrumentation point for injected faults (keyed by the
+#: requesting user id).
+SCORE_FAULT_SITE = "serve.score"
 
 #: Users per ``scores_batch`` block during warmup — the evaluator's
 #: cache-residency sweet spot (see ``repro.eval.protocol``), since warmup
@@ -64,10 +86,45 @@ class ServeStats:
     scored_users: int = 0  # users actually sent through scores_batch
     appends: int = 0
     invalidated: int = 0
+    #: Scoring attempts that raised (before any fallback was tried).
+    scoring_failures: int = 0
+    #: Requests answered by a fallback instead of fresh scoring, split
+    #: by which fallback produced the list.
+    degraded: int = 0
+    degraded_stale: int = 0
+    degraded_popularity: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """One consistent snapshot of the service's operating condition.
+
+    ``status`` is ``"ok"`` while the breaker is closed, ``"degraded"``
+    while it is open or probing half-open (requests are being answered
+    from fallbacks), matching what a load balancer health endpoint
+    needs.  ``checkpoint_age_seconds`` is time since this process loaded
+    the model (monotonic clock — the serving layer never reads
+    wallclock), with the checkpoint path carried for operators.
+    """
+
+    status: str
+    breaker_state: str
+    breaker_opens: int
+    checkpoint_age_seconds: float
+    checkpoint_path: Optional[str]
+    cache_hit_rate: float
+    degraded_rate: float
+    n_cached_users: int
+    requests: int
+    stats: ServeStats = field(repr=False, default_factory=ServeStats)
 
 
 class RankingService:
@@ -96,6 +153,22 @@ class RankingService:
     max_batch, max_wait:
         Coalescer knobs: largest gemm batch, and the seconds a batch
         leader waits for stragglers (``0``: dispatch immediately).
+    submit_timeout:
+        Seconds a coalesced request waits on its batch leader before
+        failing over to the degraded path (``None``: wait forever, the
+        pre-deadline behavior).
+    breaker_threshold, breaker_cooldown:
+        Circuit breaker around scoring: after ``breaker_threshold``
+        consecutive scoring failures the service stops calling the
+        scorer for ``breaker_cooldown`` seconds and serves fallbacks.
+    degraded_serving:
+        When ``True`` (default) scoring failures are answered with the
+        user's stale cached list or a popularity fallback and counted
+        in :class:`ServeStats`; ``False`` re-raises them (callers that
+        prefer errors over inexact lists).
+    fault_injector:
+        Test/chaos seam: fired on the scoring path per user id (site
+        ``"serve.score"``).  Production services pass ``None``.
     """
 
     def __init__(
@@ -108,6 +181,11 @@ class RankingService:
         coalesce: bool = True,
         max_batch: int = 256,
         max_wait: float = 0.002,
+        submit_timeout: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        degraded_serving: bool = True,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if model.n_users != train.n_users or model.n_items != train.n_items:
             raise ValueError(
@@ -123,7 +201,10 @@ class RankingService:
         )
         self._coalescer: Optional[RequestCoalescer] = (
             RequestCoalescer(
-                self._compute_batch, max_batch=max_batch, max_wait=max_wait
+                self._compute_batch,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                default_timeout=submit_timeout,
             )
             if coalesce
             else None
@@ -135,6 +216,18 @@ class RankingService:
         # concurrency) is where the batching win lives.
         self._lock = threading.RLock()
         self.stats = ServeStats()
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
+        self.degraded_serving = bool(degraded_serving)
+        self._faults = fault_injector
+        self.checkpoint_path: Optional[str] = None
+        self._loaded_at = time.perf_counter()
+        # Popularity fallback, precomputed once: items by descending
+        # training popularity, ties broken by id (stable sort on the
+        # negated counts) — deterministic, and independent of the model
+        # so it survives any scorer failure.
+        self._popularity_order = np.argsort(
+            -train.item_popularity, kind="stable"
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -171,7 +264,9 @@ class RankingService:
                     f"checkpoint {path} stores no interactions; pass the "
                     "training InteractionMatrix explicitly"
                 )
-        return cls(model, train, **kwargs)
+        service = cls(model, train, **kwargs)
+        service.checkpoint_path = str(path)
+        return service
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -194,6 +289,24 @@ class RankingService:
     @property
     def n_cached_users(self) -> int:
         return len(self._cache) if self._cache is not None else 0
+
+    def health(self) -> ServiceHealth:
+        """One consistent snapshot for a health endpoint (thread-safe)."""
+        with self._lock:
+            state = self.breaker.state
+            stats = ServeStats(**vars(self.stats))
+            return ServiceHealth(
+                status="ok" if state == CircuitBreaker.CLOSED else "degraded",
+                breaker_state=state,
+                breaker_opens=self.breaker.opens,
+                checkpoint_age_seconds=time.perf_counter() - self._loaded_at,
+                checkpoint_path=self.checkpoint_path,
+                cache_hit_rate=stats.hit_rate,
+                degraded_rate=stats.degraded_rate,
+                n_cached_users=self.n_cached_users,
+                requests=stats.requests,
+                stats=stats,
+            )
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -218,9 +331,12 @@ class RankingService:
                     self.stats.cache_hits += 1
                     return cached
             self.stats.cache_misses += 1
-        if self._coalescer is not None:
-            return self._coalescer.submit((user, int(k)))
-        return self._compute_batch([(user, int(k))])[0]
+        try:
+            if self._coalescer is not None:
+                return self._coalescer.submit((user, int(k)))
+            return self._compute_batch([(user, int(k))])[0]
+        except Exception as error:  # CircuitOpenError, DeadlineExceeded, gemm
+            return self._degraded_answer(user, int(k), error)
 
     def top_k_many(
         self, users: Sequence[int], k: int = 10
@@ -246,9 +362,15 @@ class RankingService:
                 self.stats.cache_misses += 1
                 missing.append((position, user))
             if missing:
-                computed = self._compute_batch(
-                    [(user, int(k)) for _, user in missing]
-                )
+                try:
+                    computed = self._compute_batch(
+                        [(user, int(k)) for _, user in missing]
+                    )
+                except Exception as error:
+                    computed = [
+                        self._degraded_answer(user, int(k), error)
+                        for _, user in missing
+                    ]
                 for (position, _), ids in zip(missing, computed):
                     results[position] = ids
         return results  # type: ignore[return-value]
@@ -338,21 +460,41 @@ class RankingService:
         (prefix-truncation is exact under the canonical total order).
         """
         with self._lock:
-            users = np.fromiter(
-                (user for user, _ in requests), dtype=np.int64, count=len(requests)
-            )
-            unique_users, inverse = np.unique(users, return_inverse=True)
-            width = max(max(k for _, k in requests), self.cache_k)
-            ids, lengths = self._rank_block(unique_users, width)
-            if self._cache is not None:
-                cache_ids = ids[:, : self._cache.cache_k]
-                cache_lengths = np.minimum(lengths, self._cache.cache_k)
-                self._cache.put_rows(unique_users, cache_ids, cache_lengths)
-            self.stats.scored_users += int(unique_users.size)
-            return [
-                ids[row, : min(k, lengths[row])].copy()
-                for row, (_, k) in zip(inverse.tolist(), requests)
-            ]
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    "scoring circuit open; serving fallbacks until cooldown"
+                )
+            try:
+                result = self._score_requests(requests)
+            except Exception:
+                self.stats.scoring_failures += 1
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            return result
+
+    def _score_requests(
+        self, requests: Sequence[Tuple[int, int]]
+    ) -> List[np.ndarray]:
+        """The unguarded scoring body of :meth:`_compute_batch`."""
+        users = np.fromiter(
+            (user for user, _ in requests), dtype=np.int64, count=len(requests)
+        )
+        unique_users, inverse = np.unique(users, return_inverse=True)
+        if self._faults is not None:
+            for user in unique_users.tolist():
+                self._faults.fire(SCORE_FAULT_SITE, str(user))
+        width = max(max(k for _, k in requests), self.cache_k)
+        ids, lengths = self._rank_block(unique_users, width)
+        if self._cache is not None:
+            cache_ids = ids[:, : self._cache.cache_k]
+            cache_lengths = np.minimum(lengths, self._cache.cache_k)
+            self._cache.put_rows(unique_users, cache_ids, cache_lengths)
+        self.stats.scored_users += int(unique_users.size)
+        return [
+            ids[row, : min(k, lengths[row])].copy()
+            for row, (_, k) in zip(inverse.tolist(), requests)
+        ]
 
     def _rank_block(
         self, users: np.ndarray, width: int
@@ -371,6 +513,51 @@ class RankingService:
         rows, cols = self._train.positives_in_rows(users)
         block[rows, cols] = -np.inf
         return top_k_items_batch(block, width)
+
+    # ------------------------------------------------------------------ #
+    # Graceful degradation
+    # ------------------------------------------------------------------ #
+
+    def _degraded_answer(
+        self, user: int, k: int, error: BaseException
+    ) -> np.ndarray:
+        """Best available answer when fresh scoring failed.
+
+        Preference order: the user's stale cached list (seen-item
+        filtering intact, just possibly mis-ranked) → popularity-ranked
+        unseen items.  Counted in :class:`ServeStats`; re-raises the
+        scoring error when ``degraded_serving`` is off.
+        """
+        if not self.degraded_serving:
+            raise error
+        with self._lock:
+            self.stats.degraded += 1
+            _LOGGER.warning(
+                "degraded answer for user %d (%s: %s)",
+                user,
+                type(error).__name__,
+                error,
+            )
+            if self._cache is not None:
+                stale = self._cache.peek(user, k)
+                if stale is not None and stale.size:
+                    self.stats.degraded_stale += 1
+                    return stale
+            self.stats.degraded_popularity += 1
+            return self._popularity_fallback(user, k)
+
+    def _popularity_fallback(self, user: int, k: int) -> np.ndarray:
+        """Top-``k`` most-popular training items the user has not seen.
+
+        Model-free and deterministic (popularity descending, ties by item
+        id), so it survives any scorer failure — the classic cold-path
+        recommendation of last resort.
+        """
+        order = self._popularity_order
+        seen = self._train.items_of(user)
+        if seen.size:
+            order = order[~np.isin(order, seen)]
+        return order[:k].copy()
 
     # ------------------------------------------------------------------ #
 

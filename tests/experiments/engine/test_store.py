@@ -140,3 +140,127 @@ class TestRequestSidecar:
         store.result_path(KEY_A).write_bytes(b"\xff\xfe\x00garbage")
         assert store.load(KEY_A) is None
         assert not store.entry_dir(KEY_A).exists()
+
+
+class TestStagingGC:
+    def _plant(self, store, relpath, age_seconds, now):
+        import os
+
+        path = store.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if relpath.endswith("/"):
+            path.mkdir()
+        else:
+            path.write_bytes(b"torn write")
+        stamp = now - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_age_gate_spares_fresh_litter(self, store):
+        now = 1_000_000.0
+        old = self._plant(store, "v9/aa/old/result.json.1.2.3.tmp", 7200, now)
+        fresh = self._plant(store, "v9/bb/new/result.json.4.5.6.tmp", 60, now)
+        removed = store.gc_staging(3600, now=now)
+        assert removed == 1
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_min_age_zero_sweeps_everything(self, store):
+        import os
+
+        now = 1_000_000.0
+        tmp = self._plant(store, "v9/aa/k/result.json.1.1.1.tmp", 0, now)
+        scratch = store.root / "staging-deadbeef"
+        scratch.mkdir(parents=True)
+        (scratch / "partial.bin").write_bytes(b"x")
+        os.utime(scratch, (now, now))
+        assert store.gc_staging(0, now=now) == 2
+        assert not tmp.exists()
+        assert not scratch.exists()
+
+    def test_committed_entries_never_reaped(self, store):
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.gc_staging(0) == 0
+        assert store.load(KEY_A) == PAYLOAD
+
+    def test_negative_age_rejected(self, store):
+        with pytest.raises(ValueError, match=">= 0"):
+            store.gc_staging(-1.0)
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        store = ArtifactStore(tmp_path / "never-created")
+        assert store.gc_staging(0) == 0
+
+    def test_failed_commit_leaves_no_staging_litter(self, store, monkeypatch):
+        import os
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk full"):
+            store.store(KEY_A, REQUEST, PAYLOAD)
+        monkeypatch.undo()
+        # The staging file was unlinked on the way out: nothing to gc,
+        # nothing committed.
+        assert store.gc_staging(0) == 0
+        assert store.load(KEY_A) is None
+        # The slot still works for the retry.
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) == PAYLOAD
+
+
+class TestInjectedCommitFaults:
+    def test_corrupt_commit_is_torn_then_evicted(self, tmp_path):
+        from repro.reliability import FaultInjector, FaultPlan, FaultSpec
+
+        injector = FaultInjector(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        site="store.commit",
+                        key=KEY_A,
+                        action="corrupt",
+                        times=1,
+                    )
+                ]
+            )
+        )
+        store = ArtifactStore(tmp_path / "cache", fault_injector=injector)
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert injector.fired == [("store.commit", KEY_A, "corrupt")]
+        # The torn bytes were committed whole (rename happened), but the
+        # document no longer parses: miss + eviction on first read.
+        assert store.load(KEY_A) is None
+        assert not store.entry_dir(KEY_A).exists()
+        # The spec retired after one corruption: the rewrite is clean.
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) == PAYLOAD
+
+    def test_raise_fault_aborts_before_any_write(self, tmp_path):
+        from repro.reliability import (
+            FaultInjected,
+            FaultInjector,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        injector = FaultInjector(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        site="store.commit",
+                        key=KEY_A,
+                        action="raise",
+                        times=1,
+                    )
+                ]
+            )
+        )
+        store = ArtifactStore(tmp_path / "cache", fault_injector=injector)
+        with pytest.raises(FaultInjected):
+            store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) is None
+        # Retry succeeds: the spec is spent.
+        store.store(KEY_A, REQUEST, PAYLOAD)
+        assert store.load(KEY_A) == PAYLOAD

@@ -1,0 +1,104 @@
+"""CircuitBreaker state machine over a fake monotonic clock."""
+
+import pytest
+
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+
+class TestStateMachine:
+    def test_stays_closed_below_threshold(self):
+        breaker, _clock = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_trips_open_at_threshold(self):
+        breaker, _clock = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _clock = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_cooldown_admits_half_open_probe(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 9.9
+        assert not breaker.allow()
+        clock.now += 0.2
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # one probe failure re-trips immediately
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+        clock.now += 4.9
+        assert not breaker.allow()
+
+    def test_rejections_counted(self):
+        breaker, _clock = make(threshold=1)
+        breaker.record_failure()
+        breaker.allow()
+        breaker.allow()
+        assert breaker.rejections == 2
+
+
+class TestCallWrapper:
+    def test_call_records_outcomes(self):
+        breaker, _clock = make(threshold=2)
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        assert breaker.call(lambda: "fine") == "fine"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_call_refuses_when_open(self):
+        breaker, _clock = make(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, cooldown=-1.0)

@@ -1,0 +1,219 @@
+"""End-to-end chaos: injected faults change *when*, never *what*.
+
+The acceptance contract of the reliability layer: a grid tortured with
+worker crashes, transient job errors, and corrupted staged artifacts
+must produce results **bitwise identical** to a fault-free sequential
+run — recovery may reorder and delay work, but every payload is a pure
+function of its run key.
+"""
+
+import pytest
+
+from repro.experiments.config import RunSpec
+from repro.experiments.engine import (
+    ArtifactStore,
+    EngineRequest,
+    ExperimentEngine,
+    GridExecutionError,
+    JobFailure,
+    ProcessPoolRunExecutor,
+    SequentialExecutor,
+)
+from repro.experiments.engine.jobs import JobGraph
+from repro.reliability import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
+
+EXECUTOR_SITE = "executor.job"
+STORE_SITE = "store.commit"
+
+
+def _grid_requests():
+    return [
+        EngineRequest(
+            RunSpec(
+                dataset="tiny",
+                sampler=sampler,
+                epochs=2,
+                batch_size=16,
+                seed=seed,
+            )
+        )
+        for sampler in ("rns", "bns")
+        for seed in (0, 1)
+    ]
+
+
+def _jobs(requests):
+    graph = JobGraph()
+    for request in requests:
+        graph.add(request)
+    return graph.jobs()
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return _jobs(_grid_requests())
+
+
+@pytest.fixture(scope="module")
+def baseline(jobs):
+    """Fault-free sequential payloads — the bitwise ground truth."""
+    return dict(SequentialExecutor().run(jobs))
+
+
+def _no_sleep(_seconds):
+    return None
+
+
+class TestSequentialRetry:
+    def test_transient_fault_retried_to_identical_payload(self, jobs, baseline):
+        target = jobs[0].key
+        plan = FaultPlan(
+            [FaultSpec(site=EXECUTOR_SITE, key=target, action="raise", times=1)]
+        )
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+        sleeps = []
+        executor = SequentialExecutor(
+            retry_policy=policy, fault_plan=plan, sleeper=sleeps.append
+        )
+        results = dict(executor.run(jobs))
+        assert results == baseline  # bitwise: dict equality on floats
+        assert executor.retry_counts == {target: 1}
+        # The backoff slept is the policy's deterministic schedule entry.
+        assert sleeps == [policy.delay(target, 1)]
+
+    def test_poison_job_quarantined_not_fatal(self, jobs, baseline):
+        target = jobs[1].key
+        plan = FaultPlan(
+            [FaultSpec(site=EXECUTOR_SITE, key=target, action="raise", times=99)]
+        )
+        executor = SequentialExecutor(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            fault_plan=plan,
+            sleeper=_no_sleep,
+        )
+        results = dict(executor.run(jobs))
+        assert isinstance(results[target], JobFailure)
+        assert results[target].attempts == 2
+        for key, payload in results.items():
+            if key != target:
+                assert payload == baseline[key]
+
+
+class TestPoolChaos:
+    def test_crashes_and_raises_bitwise_equal(self, jobs, baseline):
+        """Kill >= 2 workers and inject a transient error; the grid heals.
+
+        ``times=2`` on the first crash spec guarantees two separate
+        worker deaths (attempt 0 and the post-rebuild attempt 1), plus a
+        third from the second spec unless a rebuild already charged it.
+        """
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site=EXECUTOR_SITE, key=jobs[0].key, action="crash", times=2
+                ),
+                FaultSpec(
+                    site=EXECUTOR_SITE, key=jobs[1].key, action="crash", times=1
+                ),
+                FaultSpec(
+                    site=EXECUTOR_SITE, key=jobs[2].key, action="raise", times=1
+                ),
+            ]
+        )
+        executor = ProcessPoolRunExecutor(
+            2,
+            retry_policy=RetryPolicy(
+                max_attempts=6, base_delay=0.01, max_delay=0.05
+            ),
+            fault_plan=plan,
+            sleeper=_no_sleep,
+        )
+        results = dict(executor.run(jobs))
+        assert set(results) == set(baseline)
+        for key in baseline:
+            assert not isinstance(results[key], JobFailure)
+            assert results[key]["metrics"] == baseline[key]["metrics"]
+            assert results[key]["loss_curve"] == baseline[key]["loss_curve"]
+        # jobs[0]'s two crashes each killed a worker and broke the pool.
+        assert executor.pool_rebuilds >= 2
+        assert executor.retry_counts.get(jobs[0].key, 0) >= 2
+
+
+class TestEngineUnderFaults:
+    def _engine(self, store=None, **kwargs):
+        engine = ExperimentEngine(store, **kwargs)
+        engine._commit_sleeper = _no_sleep
+        return engine
+
+    def test_corrupted_staged_artifact_heals_bitwise(
+        self, tmp_path, jobs, baseline
+    ):
+        """A commit whose staged bytes are garbled is evicted on read and
+        recomputed to the identical payload."""
+        requests = _grid_requests()
+        target = jobs[0].key
+        injector = FaultInjector(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        site=STORE_SITE, key=target, action="corrupt", times=1
+                    )
+                ]
+            )
+        )
+        store = ArtifactStore(tmp_path / "cache", fault_injector=injector)
+        first = self._engine(store)
+        results = first.run_many(requests)
+        # The torn commit did happen...
+        assert (STORE_SITE, target, "corrupt") in injector.fired
+        # ...yet this engine's results are complete and exact (payloads
+        # flow from memory; the store is only the persistence layer).
+        for request, result in zip(requests, results):
+            assert result.payload == baseline[result.key]
+        # On the next read the corrupted entry is a miss (evicted), and
+        # the recompute reproduces the baseline bitwise.
+        assert store.load(target) is None
+        second = self._engine(ArtifactStore(tmp_path / "cache"))
+        healed = second.run_many(requests)
+        assert [r.payload for r in healed] == [r.payload for r in results]
+        assert second.last_report is not None
+        assert target in second.last_report.succeeded
+        # The other three entries were committed clean: cache hits.
+        assert len(second.last_report.cached) == 3
+
+    def test_transient_commit_error_retried(self, tmp_path, jobs):
+        requests = _grid_requests()[:1]
+        target = jobs[0].key
+        injector = FaultInjector(
+            FaultPlan(
+                [FaultSpec(site=STORE_SITE, key=target, action="raise", times=1)]
+            )
+        )
+        store = ArtifactStore(tmp_path / "cache", fault_injector=injector)
+        engine = self._engine(store)
+        engine.run_many(requests)
+        # The injected IOError consumed one attempt; the retry committed.
+        assert store.load(target) is not None
+
+    def test_quarantine_surfaces_as_grid_error_with_report(self, jobs):
+        requests = _grid_requests()
+        target = jobs[2].key
+        plan = FaultPlan(
+            [FaultSpec(site=EXECUTOR_SITE, key=target, action="raise", times=99)]
+        )
+        executor = SequentialExecutor(fault_plan=plan, sleeper=_no_sleep)
+        engine = self._engine(executor=executor)
+        with pytest.raises(GridExecutionError) as excinfo:
+            engine.run_many(requests)
+        report = excinfo.value.report
+        assert engine.last_report is report
+        assert not report.ok
+        assert set(report.quarantined) == {target}
+        assert len(report.succeeded) == 3
+        # Completed runs are memoized: a retry of the grid (faults gone)
+        # reuses them instead of retraining.
+        executor.fault_plan = None
+        results = engine.run_many(requests)
+        assert len(results) == len(requests)
+        assert engine.last_report.ok
+        assert set(engine.last_report.cached) == set(report.succeeded)

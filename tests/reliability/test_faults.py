@@ -1,0 +1,141 @@
+"""FaultSpec/FaultPlan/FaultInjector: matching, triggering, payloads."""
+
+import pytest
+
+from repro.reliability.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def spec(**overrides):
+    base = dict(site="store.commit", key="k1", action="raise")
+    base.update(overrides)
+    return FaultSpec(**base)
+
+
+class TestFaultSpec:
+    def test_matches_exact_and_wildcard(self):
+        assert spec().matches("store.commit", "k1")
+        assert not spec().matches("store.commit", "k2")
+        assert not spec().matches("executor.job", "k1")
+        assert spec(key="*").matches("store.commit", "anything")
+
+    def test_exception_resolution(self):
+        assert spec().exception_type() is FaultInjected
+        assert spec(exception="OSError").exception_type() is OSError
+        with pytest.raises(ValueError):
+            spec(exception="print").exception_type()
+        with pytest.raises(ValueError):
+            spec(exception="NoSuchError").exception_type()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spec(action="explode")
+        with pytest.raises(ValueError):
+            spec(times=0)
+        with pytest.raises(ValueError):
+            spec(action="delay", delay_seconds=-1.0)
+
+    def test_payload_roundtrip(self):
+        original = spec(
+            action="delay", times=3, message="chaos", delay_seconds=0.25
+        )
+        assert FaultSpec.from_payload(original.to_payload()) == original
+
+    def test_plan_payload_roundtrip(self):
+        plan = FaultPlan([spec(), spec(key="k2", action="corrupt")])
+        rebuilt = FaultPlan.from_payload(plan.to_payload())
+        assert rebuilt.specs == plan.specs
+
+    def test_default_exception_is_an_ioerror(self):
+        # Generic IO-retry paths must treat injected faults as real IO.
+        assert issubclass(FaultInjected, IOError)
+
+
+class TestExplicitAttemptMode:
+    def test_fires_while_attempt_below_times(self):
+        injector = FaultInjector(FaultPlan([spec(times=2)]))
+        with pytest.raises(FaultInjected):
+            injector.fire("store.commit", "k1", attempt=0)
+        with pytest.raises(FaultInjected):
+            injector.fire("store.commit", "k1", attempt=1)
+        injector.fire("store.commit", "k1", attempt=2)  # retired
+
+    def test_matching_is_stateless(self):
+        # Same (site, key, attempt) triggers identically every time —
+        # the property that makes cross-process injection deterministic.
+        injector = FaultInjector(FaultPlan([spec(times=1)]))
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                injector.fire("store.commit", "k1", attempt=0)
+
+    def test_non_matching_key_passes(self):
+        injector = FaultInjector(FaultPlan([spec()]))
+        injector.fire("store.commit", "other", attempt=0)
+
+
+class TestInternalCountingMode:
+    def test_retires_after_times_invocations(self):
+        injector = FaultInjector(FaultPlan([spec(times=2)]))
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                injector.fire("store.commit", "k1")
+        injector.fire("store.commit", "k1")  # third invocation: retired
+
+    def test_counts_are_per_key(self):
+        injector = FaultInjector(FaultPlan([spec(key="*", times=1)]))
+        with pytest.raises(FaultInjected):
+            injector.fire("store.commit", "a")
+        with pytest.raises(FaultInjected):
+            injector.fire("store.commit", "b")
+        injector.fire("store.commit", "a")
+
+
+class TestActions:
+    def test_delay_uses_injected_sleeper(self):
+        sleeps = []
+        injector = FaultInjector(
+            FaultPlan([spec(action="delay", delay_seconds=0.5)]),
+            sleeper=sleeps.append,
+        )
+        injector.fire("store.commit", "k1")
+        assert sleeps == [0.5]
+
+    def test_corrupt_garbles_matching_bytes(self):
+        injector = FaultInjector(
+            FaultPlan([spec(action="corrupt", message="torn")])
+        )
+        data = b'{"payload": "x" }' * 10
+        garbled = injector.corrupt("store.commit", "k1", data)
+        assert garbled != data
+        assert b"\x00!torn!" in garbled
+        # Non-matching keys pass through untouched; the spec retired
+        # after one corruption, so even k1 passes through now.
+        assert injector.corrupt("store.commit", "other", data) == data
+        assert injector.corrupt("store.commit", "k1", data) == data
+
+    def test_raise_carries_site_and_key(self):
+        injector = FaultInjector(FaultPlan([spec(message="boom")]))
+        with pytest.raises(FaultInjected, match="boom.*store.commit"):
+            injector.fire("store.commit", "k1")
+
+    def test_fired_log_records_what_happened(self):
+        injector = FaultInjector(
+            FaultPlan([spec(), spec(key="k2", action="corrupt")])
+        )
+        with pytest.raises(FaultInjected):
+            injector.fire("store.commit", "k1")
+        injector.corrupt("store.commit", "k2", b"data")
+        assert injector.fired == [
+            ("store.commit", "k1", "raise"),
+            ("store.commit", "k2", "corrupt"),
+        ]
+
+    def test_empty_plan_is_inert(self):
+        injector = FaultInjector(FaultPlan())
+        injector.fire("anywhere", "anything")
+        assert injector.corrupt("anywhere", "anything", b"x") == b"x"
+        assert not injector.fired

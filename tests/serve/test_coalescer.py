@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.reliability.policy import DeadlineExceeded
 from repro.serve.coalescer import RequestCoalescer
 
 
@@ -43,6 +44,8 @@ class TestSingleCaller:
             RequestCoalescer(_echo_batch, max_batch=0)
         with pytest.raises(ValueError):
             RequestCoalescer(_echo_batch, max_wait=-0.1)
+        with pytest.raises(ValueError):
+            RequestCoalescer(_echo_batch, default_timeout=0.0)
 
 
 class TestConcurrentCallers:
@@ -120,3 +123,110 @@ class TestConcurrentCallers:
         assert results == [None] * 4
         assert len(errors) == 4
         assert all(isinstance(error, ValueError) for error in errors)
+
+
+class TestFailureSemantics:
+    """Leader failure must never wedge the queue (the reliability-layer
+    regression fix), and follower waits can be deadline-bounded."""
+
+    def test_failed_batch_does_not_wedge_the_queue(self):
+        calls = {"n": 0}
+
+        def flaky(requests):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first batch dies")
+            return list(requests)
+
+        coalescer = RequestCoalescer(flaky, max_wait=0.0)
+        with pytest.raises(RuntimeError):
+            coalescer.submit(1)
+        # The next submit elects a fresh leader and succeeds.
+        assert coalescer.submit(2) == 2
+
+    def test_error_delivered_exactly_once_per_caller(self):
+        delivered = []
+
+        def boom(requests):
+            raise ValueError("batch failed")
+
+        coalescer = RequestCoalescer(boom, max_batch=8, max_wait=0.2)
+        barrier = threading.Barrier(4)
+
+        def client(value):
+            barrier.wait()
+            try:
+                coalescer.submit(value)
+            except ValueError as error:
+                delivered.append((value, error))
+
+        threads = [
+            threading.Thread(target=client, args=(v,)) for v in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads)
+        assert sorted(value for value, _ in delivered) == [0, 1, 2, 3]
+
+    def test_leader_death_outside_compute_aborts_followers(self):
+        coalescer = RequestCoalescer(_echo_batch, max_wait=0.0)
+
+        # Simulate the leader thread dying between rounds (a bug, a
+        # KeyboardInterrupt): followers queued behind it must be failed,
+        # not left waiting on a leader that no longer exists.
+        def broken_lead():
+            raise KeyboardInterrupt("leader killed")
+
+        coalescer._lead = broken_lead
+        with pytest.raises(KeyboardInterrupt):
+            coalescer.submit(1)
+        assert coalescer.stats.leader_aborts == 1
+        # The coalescer recovers: leadership was vacated.
+        del coalescer._lead  # restore the real method
+        assert coalescer.submit(2) == ("done", 2)
+
+    def test_follower_timeout_raises_deadline_exceeded(self):
+        release = threading.Event()
+        leading = threading.Event()
+
+        def stuck(requests):
+            leading.set()
+            release.wait(10)
+            return [("done", request) for request in requests]
+
+        coalescer = RequestCoalescer(stuck, max_batch=1, max_wait=0.0)
+        leader = threading.Thread(target=lambda: coalescer.submit("lead"))
+        leader.start()
+        assert leading.wait(5)
+        # The leader is wedged in compute with max_batch=1, so this
+        # caller queues as a follower and must time out rather than
+        # wait forever on a leader that will never reach its slot.
+        with pytest.raises(DeadlineExceeded):
+            coalescer.submit("follow", timeout=0.05)
+        assert coalescer.stats.deadline_expired == 1
+        release.set()
+        leader.join(timeout=10)
+        assert not leader.is_alive()
+
+    def test_default_timeout_applies_without_explicit_timeout(self):
+        release = threading.Event()
+        leading = threading.Event()
+
+        def stuck(requests):
+            leading.set()
+            release.wait(10)
+            return [("done", request) for request in requests]
+
+        coalescer = RequestCoalescer(
+            stuck, max_batch=1, max_wait=0.0, default_timeout=0.05
+        )
+        leader = threading.Thread(target=lambda: coalescer.submit("lead"))
+        leader.start()
+        assert leading.wait(5)
+        with pytest.raises(DeadlineExceeded):
+            coalescer.submit("follow")
+        release.set()
+        leader.join(timeout=10)
+        assert not leader.is_alive()

@@ -277,3 +277,182 @@ class TestValidationAndCheckpoints:
         service = RankingService.from_checkpoint(path, cache_k=8, coalesce=False)
         assert service.train.n_interactions == tiny.train.n_interactions
         assert_serves_offline_lists(service, trained, k=8)
+
+
+def _score_fault(user, times=99, action="raise"):
+    """A plan that fails scoring for ``user`` at the serve.score seam."""
+    from repro.reliability import FaultInjector, FaultPlan, FaultSpec
+
+    return FaultInjector(
+        FaultPlan(
+            [
+                FaultSpec(
+                    site="serve.score",
+                    key=str(user),
+                    action=action,
+                    times=times,
+                )
+            ]
+        )
+    )
+
+
+class TestGracefulDegradation:
+    def test_scoring_failure_served_by_popularity_fallback(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, coalesce=False, fault_injector=_score_fault(0)
+        )
+        served = service.top_k(0, 5)
+        # Deterministic fallback: most popular unseen items, ties by id.
+        counts = tiny.train.item_popularity
+        order = np.argsort(-counts, kind="stable")
+        seen = set(tiny.train.items_of(0).tolist())
+        expected = [item for item in order.tolist() if item not in seen][:5]
+        assert served.tolist() == expected
+        assert service.stats.degraded == 1
+        assert service.stats.degraded_popularity == 1
+        assert service.stats.scoring_failures == 1
+
+    def test_fallback_never_recommends_seen_items(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            fault_injector=_score_fault(1),
+        )
+        served = service.top_k(1, tiny.n_items)
+        seen = set(tiny.train.items_of(1).tolist())
+        assert not seen.intersection(served.tolist())
+
+    def test_stale_cache_preferred_over_popularity(self, tiny, model):
+        service = RankingService(
+            model, tiny.train, coalesce=False, refresh_every=2
+        )
+        fresh = service.top_k(0, 5)  # populates the cache
+        service._faults = _score_fault(0)
+        service.add_interactions([0], [int(fresh[0])])  # invalidate user 0
+        service._cache.advance()
+        service._cache.advance()  # expire the staleness window
+        served = service.top_k(0, 5)
+        # The expired entry is peeked: the old list minus the now-seen
+        # item, backfilled from deeper cached entries.
+        assert service.stats.degraded_stale == 1
+        assert int(fresh[0]) not in served.tolist()
+        assert served.tolist()[:4] == fresh.tolist()[1:]
+
+    def test_breaker_opens_after_consecutive_failures(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            cache_k=0,
+            breaker_threshold=2,
+            fault_injector=_score_fault(0),
+        )
+        service.top_k(0, 5)
+        service.top_k(0, 5)
+        assert service.breaker.state == "open"
+        # Breaker-open requests degrade without touching the scorer.
+        service.top_k(0, 5)
+        assert service.stats.scoring_failures == 2
+        assert service.stats.degraded == 3
+        assert service.breaker.rejections == 1
+
+    def test_healthy_users_unaffected_by_anothers_faults(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            breaker_threshold=10,
+            fault_injector=_score_fault(0),
+        )
+        service.top_k(0, 5)  # degraded
+        clean = RankingService(model, tiny.train, coalesce=False)
+        assert np.array_equal(service.top_k(1, 5), clean.top_k(1, 5))
+
+    def test_degraded_serving_off_reraises(self, tiny, model):
+        from repro.reliability import FaultInjected
+
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            degraded_serving=False,
+            fault_injector=_score_fault(0),
+        )
+        with pytest.raises(FaultInjected):
+            service.top_k(0, 5)
+        assert service.stats.degraded == 0
+
+    def test_top_k_many_degrades_only_the_batch(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            breaker_threshold=10,
+            fault_injector=_score_fault(2),
+        )
+        results = service.top_k_many([0, 1, 2], 5)
+        assert len(results) == 3
+        for served in results:
+            assert served.size > 0
+        # One batch gemm failed, so all three members of it degraded.
+        assert service.stats.degraded == 3
+
+    def test_coalesced_path_degrades_too(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            max_wait=0.0,
+            breaker_threshold=10,
+            fault_injector=_score_fault(0),
+        )
+        served = service.top_k(0, 5)
+        assert served.size > 0
+        assert service.stats.degraded == 1
+
+
+class TestHealth:
+    def test_healthy_snapshot(self, tiny, model):
+        service = RankingService(model, tiny.train, coalesce=False)
+        service.warmup()
+        service.top_k(0, 5)
+        health = service.health()
+        assert health.status == "ok"
+        assert health.breaker_state == "closed"
+        assert health.breaker_opens == 0
+        assert health.checkpoint_age_seconds >= 0.0
+        assert health.checkpoint_path is None
+        assert health.n_cached_users == tiny.n_users
+        assert health.requests == 1
+        assert health.cache_hit_rate == 1.0
+        assert health.degraded_rate == 0.0
+
+    def test_degraded_snapshot(self, tiny, model):
+        service = RankingService(
+            model,
+            tiny.train,
+            coalesce=False,
+            cache_k=0,
+            breaker_threshold=1,
+            fault_injector=_score_fault(0),
+        )
+        service.top_k(0, 5)
+        health = service.health()
+        assert health.status == "degraded"
+        assert health.breaker_state == "open"
+        assert health.breaker_opens == 1
+        assert health.degraded_rate == 1.0
+        # The snapshot carries the full stats copy for dashboards, and
+        # it is a copy — mutating the live service does not change it.
+        service.top_k(0, 5)
+        assert health.stats.degraded == 1
+
+    def test_from_checkpoint_records_path(self, tiny, tmp_path):
+        trained = MatrixFactorization(tiny.n_users, tiny.n_items, 8, seed=3)
+        path = tmp_path / "model.npz"
+        save_model(trained, path)
+        service = RankingService.from_checkpoint(
+            path, tiny.train, coalesce=False
+        )
+        assert service.health().checkpoint_path == str(path)

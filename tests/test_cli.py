@@ -160,6 +160,33 @@ class TestEngineCommands:
         assert main(["cache", "ls", "--cache-dir", cache]) == 0
         assert "cache empty" in capsys.readouterr().out
 
+    def test_cache_gc_sweeps_only_orphaned_staging(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        main(["experiment", "table3", "--scale", "unit", "--datasets", "tiny",
+              "--cache-dir", str(cache)])
+        capsys.readouterr()
+        litter = cache / "v0" / "zz" / "dead" / "result.json.1.2.3.tmp"
+        litter.parent.mkdir(parents=True)
+        litter.write_bytes(b"torn")
+
+        # Default 24h age gate spares the fresh litter.
+        assert main(["cache", "gc", "--cache-dir", str(cache)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert litter.exists()
+
+        # --min-age-hours 0 reaps it; committed entries stay listable.
+        assert main(["cache", "gc", "--cache-dir", str(cache),
+                     "--min-age-hours", "0"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not litter.exists()
+        assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        assert "tiny/mf/bns" in capsys.readouterr().out
+
+    def test_cache_gc_rejects_negative_age(self, tmp_path):
+        with pytest.raises(SystemExit, match=">= 0"):
+            main(["cache", "gc", "--cache-dir", str(tmp_path),
+                  "--min-age-hours", "-1"])
+
 
 class TestArtifactRegistry:
     def test_cli_engine_artifacts_match_run_all(self):
