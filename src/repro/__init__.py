@@ -78,20 +78,36 @@ def quick_train(
     reg: float = 0.01,
     seed: Optional[int] = 0,
     ks=(5, 10, 20),
+    backend=None,
+    dtype: str = "float64",
 ) -> QuickResult:
     """One-call train-and-evaluate, the library's hello-world entry point.
 
     Loads (or synthesizes) the named dataset, trains the chosen model with
     the chosen negative sampler, and returns the final ranking metrics.
+    ``backend``/``dtype`` select the compute backend and precision policy
+    (``dtype="float32"`` is the fast mode; metrics become statistically,
+    not bitwise, equivalent — see README "Compute backends & precision").
     """
     dataset = load_dataset(dataset_name, seed=seed)
     if model == "mf":
         score_model = MatrixFactorization(
-            dataset.n_users, dataset.n_items, n_factors=n_factors, seed=seed
+            dataset.n_users,
+            dataset.n_items,
+            n_factors=n_factors,
+            seed=seed,
+            backend=backend,
+            dtype=dtype,
         )
         optimizer = SGD(lr)
     elif model == "lightgcn":
-        score_model = LightGCN(dataset.train, n_factors=n_factors, seed=seed)
+        score_model = LightGCN(
+            dataset.train,
+            n_factors=n_factors,
+            seed=seed,
+            backend=backend,
+            dtype=dtype,
+        )
         optimizer = Adam(lr)
     else:
         raise KeyError(f"unknown model {model!r}; use 'mf' or 'lightgcn'")

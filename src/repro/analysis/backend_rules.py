@@ -1,0 +1,95 @@
+"""Backend-seam rules: R007 (no direct numpy dense algebra in kernels).
+
+The compute-backend layer (:mod:`repro.backend`) exists so the hot dense
+kernels — model scoring, the evaluator's score blocks, serving's ranking
+blocks — run on whichever backend the spec selects.  That routing only
+holds if the kernel modules actually *go through the seam*: one stray
+``np.einsum`` in a scoring path silently pins that path to numpy and the
+torch/float32 modes diverge from what the benchmarks measured.  R007
+bans the numpy dense-algebra entry points in the backend-routed modules;
+the backend package itself is exempt (its numpy implementation *is* the
+seam), and intentional host-side math — e.g. training-gradient
+arithmetic that is backend-independent by design — carries an auditable
+``# repro: noqa[R007] -- why``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.determinism import build_import_table, resolve_dotted
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import LintContext, ModuleFile, Rule, register
+
+__all__ = ["BackendSeamRule"]
+
+#: Modules whose dense kernels must route through ``repro.backend``.
+_KERNEL_PATH_MARKERS = ("/repro/models/", "/repro/eval/", "/repro/serve/")
+
+#: The backend package supplies the numpy implementations — exempt.
+_SEAM_PATH_MARKER = "/repro/backend/"
+
+#: numpy's dense-algebra entry points: every one has an ``ArrayBackend``
+#: counterpart (``pair_dot``/``gather_dot``/``gemm_nt``/``matvec``/
+#: ``spmm``).  Elementwise numpy (``+``, ``np.maximum``, reductions)
+#: stays allowed — the seam covers the *contraction* kernels where the
+#: backend choice changes cost and numerics.
+_DENSE_ALGEBRA = frozenset(
+    {
+        "numpy.einsum",
+        "numpy.matmul",
+        "numpy.dot",
+        "numpy.inner",
+        "numpy.vdot",
+        "numpy.tensordot",
+    }
+)
+
+
+def in_kernel_path(relpath: str) -> bool:
+    """True for modules whose dense algebra R007 audits."""
+    probe = "/" + relpath
+    if _SEAM_PATH_MARKER in probe:
+        return False
+    return any(marker in probe for marker in _KERNEL_PATH_MARKERS)
+
+
+@register
+class BackendSeamRule(Rule):
+    """R007: kernel modules call ``repro.backend``, not numpy contractions.
+
+    Scope is ``repro/models/``, ``repro/eval/`` and ``repro/serve/`` —
+    the modules the backend layer routes.  A direct ``np.einsum`` /
+    ``np.matmul`` / ``np.dot`` there bypasses the selected backend: the
+    float64 numpy default would still be bitwise-correct, but torch and
+    float32 runs would silently execute a different kernel than the one
+    the parity suite and ``BENCH_backend.json`` certify.
+    """
+
+    id = "R007"
+    title = "backend-seam-purity"
+    invariant = (
+        "dense contractions in models/eval/serve go through the "
+        "ArrayBackend seam, never directly through numpy"
+    )
+
+    def check_file(
+        self, module: ModuleFile, context: LintContext
+    ) -> Iterator[Diagnostic]:
+        if not in_kernel_path(module.relpath):
+            return
+        imports = build_import_table(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, imports)
+            if dotted in _DENSE_ALGEBRA:
+                yield self.diagnostic(
+                    module.path,
+                    node,
+                    f"call to {dotted} bypasses the compute-backend seam",
+                    hint="route through the model's ArrayBackend (pair_dot/"
+                    "gather_dot/gemm_nt/matvec/spmm), or justify host-side "
+                    "math with `# repro: noqa[R007] -- why`",
+                )

@@ -139,6 +139,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 def rule_registry() -> Dict[str, Type[Rule]]:
     """Registered rules, id → class (importing the rule modules fills it)."""
     # Import for the registration side effect; idempotent.
+    import repro.analysis.backend_rules  # noqa: F401  (registration import)
     import repro.analysis.contracts  # noqa: F401  (registration import)
     import repro.analysis.determinism  # noqa: F401  (registration import)
     import repro.analysis.robustness  # noqa: F401  (registration import)

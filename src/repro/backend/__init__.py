@@ -1,0 +1,82 @@
+"""Backend-agnostic compute layer (see :mod:`repro.backend.base`).
+
+Public surface::
+
+    backend = get_backend("numpy")          # or "torch" / "torch-cuda"
+    dtype = resolve_dtype("float32")        # policy: float64 exact / float32 fast
+    model = MatrixFactorization(..., backend=backend, dtype=dtype)
+
+``get_backend`` is the single construction point: names map to backend
+classes, torch variants stay import-guarded extras, and instances are
+shared per process (backends are stateless beyond tiny operand caches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from repro.backend.base import (
+    ArrayBackend,
+    BackendCapabilityError,
+    BackendUnavailableError,
+    DTYPE_NAMES,
+    dtype_name,
+    resolve_dtype,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend, torch_available
+
+__all__ = [
+    "ArrayBackend",
+    "BackendCapabilityError",
+    "BackendUnavailableError",
+    "BACKEND_NAMES",
+    "DTYPE_NAMES",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "dtype_name",
+    "get_backend",
+    "resolve_dtype",
+    "torch_available",
+]
+
+#: Accepted backend names, canonical order (default first).
+BACKEND_NAMES: Tuple[str, ...] = ("numpy", "torch", "torch-cuda")
+
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def get_backend(backend: Union[str, ArrayBackend, None] = None) -> ArrayBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` selects the default numpy backend.  Unknown names raise
+    ``ValueError``; known-but-unavailable ones (torch not installed, no
+    CUDA device) raise :class:`BackendUnavailableError` at construction,
+    so a bad ``--backend`` flag fails before any training starts.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = "numpy" if backend is None else str(backend)
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r}; use one of {BACKEND_NAMES}"
+        )
+    cached = _INSTANCES.get(name)
+    if cached is None:
+        if name == "numpy":
+            cached = NumpyBackend()
+        else:
+            cached = TorchBackend("cpu" if name == "torch" else "cuda")
+        _INSTANCES[name] = cached
+    return cached
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The subset of :data:`BACKEND_NAMES` constructible in this process."""
+    names = ["numpy"]
+    if torch_available("cpu"):
+        names.append("torch")
+    if torch_available("cuda"):
+        names.append("torch-cuda")
+    return tuple(names)

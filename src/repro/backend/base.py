@@ -1,0 +1,192 @@
+"""The array-backend seam: one protocol, pluggable dense kernels.
+
+Every hot kernel in the library — the ``scores_batch`` /
+``score_items_batch`` matmuls, the LightGCN ``Â`` propagation, the
+evaluator's chunked score blocks and the canonical top-K — funnels
+through a handful of named linear-algebra operations.
+:class:`ArrayBackend` names exactly those operations, so the same model
+code runs on NumPy (the default), torch-CPU, or torch-CUDA without
+branching at the call sites.
+
+Design contract
+---------------
+* **Bitwise parity on the default backend.**  Each
+  :class:`~repro.backend.numpy_backend.NumpyBackend` method is the
+  *verbatim* NumPy expression the pre-seam code used (``a @ b.T``,
+  ``np.einsum("bf,bf->b", ...)``, ...), so routing through the seam at
+  ``float64`` changes no bits — pinned against frozen goldens by
+  ``tests/backend/test_parity.py``.
+* **Dtype policy.**  Models carry a policy dtype (``float64`` exact /
+  ``float32`` fast) chosen via :func:`resolve_dtype`; parameter tables
+  are created at that dtype and every backend kernel preserves it.
+  Float32 runs are statistically — not bitwise — equivalent to float64
+  (see README "Compute backends & precision").
+* **RNG bridge.**  All parameter initialization draws happen on the
+  *host* NumPy generator and transfer through :meth:`~ArrayBackend.
+  from_numpy`, so a torch model starts from exactly the numpy
+  initialization and a float32 model starts from the float64 draw cast
+  down — one seed, one init, every backend.
+* **Host-shared training.**  ``train_step`` mutates host NumPy arrays in
+  place; backends whose device arrays alias host memory
+  (:attr:`~ArrayBackend.shares_host_memory` — NumPy, torch-CPU) train
+  for free, while device-resident backends (torch-CUDA) reject training
+  with a clear error and serve scoring/eval only.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "BackendCapabilityError",
+    "DTYPE_NAMES",
+    "resolve_dtype",
+    "dtype_name",
+]
+
+#: Accepted dtype-policy names, canonical order (default first).
+DTYPE_NAMES: Tuple[str, ...] = ("float64", "float32")
+
+DTypeLike = Union[str, np.dtype, type]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested backend's runtime (e.g. torch) is not importable/usable."""
+
+
+class BackendCapabilityError(RuntimeError):
+    """Requested operation is outside the backend's capability contract."""
+
+
+def resolve_dtype(dtype: DTypeLike) -> np.dtype:
+    """Canonicalize a dtype-policy value to ``np.float64``/``np.float32``.
+
+    Accepts the policy names (:data:`DTYPE_NAMES`) or equivalent NumPy
+    dtypes; anything else is rejected — the policy is deliberately a
+    two-point switch (exact vs. fast), not a general dtype plumbing.
+    """
+    resolved = np.dtype("float64" if dtype is None else dtype)
+    if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValueError(
+            f"unsupported dtype policy {dtype!r}; use one of {DTYPE_NAMES}"
+        )
+    return resolved
+
+
+def dtype_name(dtype: DTypeLike) -> str:
+    """The policy name ("float64"/"float32") of a resolved dtype."""
+    return resolve_dtype(dtype).name
+
+
+class ArrayBackend(ABC):
+    """Named dense kernels over one array namespace.
+
+    Methods either *transfer* (``from_numpy``/``to_numpy``/``host_view``)
+    or *compute* (everything else).  Compute methods take and return
+    backend-native arrays; shapes and semantics are fixed here so call
+    sites read identically across backends.
+    """
+
+    #: Registry name ("numpy", "torch", "torch-cuda").
+    name: str = "abstract"
+    #: Whether ``from_numpy`` aliases host memory (mutations to the host
+    #: array are visible through the backend handle).  Training requires
+    #: this; see the module docstring.
+    shares_host_memory: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Transfer
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def from_numpy(self, array: np.ndarray):
+        """A backend handle for a host array (aliasing when possible).
+
+        The RNG bridge: draws happen on the host generator, parameters
+        enter the backend through here, so initialization is identical
+        across backends by construction.
+        """
+
+    @abstractmethod
+    def to_numpy(self, array) -> np.ndarray:
+        """A host ``np.ndarray`` of a backend array (view when possible)."""
+
+    def host_view(self, array) -> np.ndarray:
+        """A *writable host view* aliasing the backend array's storage.
+
+        What ``train_step`` mutates.  Backends that cannot alias host
+        memory raise :class:`BackendCapabilityError` instead of silently
+        returning a copy that training would update into the void.
+        """
+        if not self.shares_host_memory:
+            raise BackendCapabilityError(
+                f"backend {self.name!r} does not share host memory; "
+                "training requires the numpy or torch (CPU) backend — "
+                "torch-cuda supports scoring/eval/serving only"
+            )
+        return self.to_numpy(array)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra kernels
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def matvec(self, matrix, vector):
+        """``matrix @ vector`` — one user's score row (gemv)."""
+
+    @abstractmethod
+    def gemm_nt(self, a, b):
+        """``a @ b.T`` — the ``(B, n_items)`` score-block gemm."""
+
+    @abstractmethod
+    def pair_dot(self, a, b):
+        """Row-parallel dots ``einsum("bf,bf->b", a, b)``."""
+
+    @abstractmethod
+    def gather_dot(self, a, b):
+        """Per-row gathered dots ``einsum("bf,bmf->bm", a, b)``."""
+
+    @abstractmethod
+    def take(self, array, indices):
+        """``array[indices]`` — embedding-table gather (any index rank)."""
+
+    @abstractmethod
+    def copy(self, array):
+        """A fresh backend array with the same contents."""
+
+    # ------------------------------------------------------------------ #
+    # Sparse propagation
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def sparse_from_scipy(self, matrix):
+        """A backend handle for a ``scipy.sparse.csr_matrix`` operand."""
+
+    @abstractmethod
+    def spmm(self, sparse, dense):
+        """``sparse @ dense`` — the LightGCN ``Â`` propagation step."""
+
+    # ------------------------------------------------------------------ #
+    # Ranking
+    # ------------------------------------------------------------------ #
+
+    def topk(self, masked, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonical row-wise top-``k`` ``(ids, lengths)`` — host arrays.
+
+        Semantics are exactly :func:`repro.eval.topk.top_k_items_batch`
+        (descending score, ascending id breaking ties, including across
+        the cut-off).  The canonical tie rule lives in one NumPy kernel;
+        device backends transfer the block and delegate, so served and
+        evaluated rankings can never disagree across backends.
+        """
+        from repro.eval.topk import top_k_items_batch
+
+        return top_k_items_batch(self.to_numpy(masked), k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(name={self.name!r})"

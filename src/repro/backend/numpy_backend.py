@@ -1,0 +1,59 @@
+"""The default backend: NumPy, verbatim.
+
+Every method body is the exact expression the pre-seam model code used,
+so routing through this backend is a pure refactor — float64 outputs are
+bitwise-identical to the frozen pre-seam goldens
+(``tests/backend/test_parity.py``), and float32 runs the same expressions
+at the narrower dtype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Host NumPy kernels (the identity backend)."""
+
+    name = "numpy"
+    shares_host_memory = True
+
+    # -- transfer ------------------------------------------------------- #
+
+    def from_numpy(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    # -- linear algebra -------------------------------------------------- #
+
+    def matvec(self, matrix, vector):
+        return matrix @ vector
+
+    def gemm_nt(self, a, b):
+        return a @ b.T
+
+    def pair_dot(self, a, b):
+        return np.einsum("bf,bf->b", a, b)  # repro: noqa[R007] -- this IS the backend seam
+
+    def gather_dot(self, a, b):
+        return np.einsum("bf,bmf->bm", a, b)  # repro: noqa[R007] -- this IS the backend seam
+
+    def take(self, array, indices):
+        return array[indices]
+
+    def copy(self, array):
+        return np.array(array, copy=True)
+
+    # -- sparse ---------------------------------------------------------- #
+
+    def sparse_from_scipy(self, matrix):
+        return matrix
+
+    def spmm(self, sparse, dense):
+        return sparse @ dense

@@ -1,0 +1,115 @@
+"""Optional torch backend (CPU or CUDA) — import-guarded.
+
+torch stays an *extra*: this module imports cleanly without it, and
+construction raises :class:`~repro.backend.base.BackendUnavailableError`
+with an actionable message when the runtime is missing.  The CPU variant
+aliases host memory (``torch.from_numpy`` / ``Tensor.numpy`` are
+zero-copy), so training works unchanged; the CUDA variant is
+scoring/eval/serving only (see :class:`~repro.backend.base.ArrayBackend`).
+
+Numerics: float64 torch-CPU matches NumPy closely but is **not**
+bitwise-pinned (different gemm kernels accumulate in different orders);
+float32 is statistically equivalent under the tolerances documented in
+the README and pinned by ``tests/backend/test_torch_backend.py``.
+The canonical top-K tie rule stays single-sourced: :meth:`topk`
+transfers to the host and delegates to the NumPy kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, BackendUnavailableError
+
+__all__ = ["TorchBackend", "torch_available"]
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch as _torch
+except ImportError:  # pragma: no cover
+    _torch = None
+
+
+def torch_available(device: str = "cpu") -> bool:
+    """Whether the torch runtime (and, for "cuda", a device) is usable."""
+    if _torch is None:
+        return False
+    if device == "cuda":
+        return bool(_torch.cuda.is_available())
+    return True
+
+
+class TorchBackend(ArrayBackend):
+    """torch kernels on one device ("cpu" or "cuda")."""
+
+    def __init__(self, device: str = "cpu") -> None:
+        if device not in ("cpu", "cuda"):
+            raise ValueError(f"device must be 'cpu' or 'cuda', got {device!r}")
+        if _torch is None:
+            raise BackendUnavailableError(
+                "the torch backend requires torch, which is not installed; "
+                "install the 'torch' extra or use the default numpy backend"
+            )
+        if device == "cuda" and not _torch.cuda.is_available():
+            raise BackendUnavailableError(
+                "backend 'torch-cuda' requested but torch reports no usable "
+                "CUDA device; use 'torch' (CPU) or 'numpy'"
+            )
+        self.device = _torch.device(device)
+        self.name = "torch" if device == "cpu" else "torch-cuda"
+        self.shares_host_memory = device == "cpu"
+        # Sparse operands converted per scipy matrix (the LightGCN Â is
+        # built once and shared, so this holds at most a couple entries).
+        self._sparse_cache: dict = {}
+
+    # -- transfer ------------------------------------------------------- #
+
+    def from_numpy(self, array: np.ndarray):
+        tensor = _torch.from_numpy(np.ascontiguousarray(array))
+        return tensor if self.shares_host_memory else tensor.to(self.device)
+
+    def to_numpy(self, array) -> np.ndarray:
+        if isinstance(array, np.ndarray):
+            return array
+        return array.detach().cpu().numpy()
+
+    # -- linear algebra -------------------------------------------------- #
+
+    def matvec(self, matrix, vector):
+        return matrix @ vector
+
+    def gemm_nt(self, a, b):
+        return a @ b.T
+
+    def pair_dot(self, a, b):
+        return (a * b).sum(dim=1)
+
+    def gather_dot(self, a, b):
+        return _torch.einsum("bf,bmf->bm", a, b)
+
+    def take(self, array, indices):
+        if isinstance(indices, np.ndarray):
+            indices = _torch.from_numpy(indices).to(self.device)
+        return array[indices]
+
+    def copy(self, array):
+        return array.clone()
+
+    # -- sparse ---------------------------------------------------------- #
+
+    def sparse_from_scipy(self, matrix):
+        cached = self._sparse_cache.get(id(matrix))
+        if cached is not None:
+            return cached
+        csr = matrix.tocsr()
+        tensor = _torch.sparse_csr_tensor(
+            _torch.from_numpy(csr.indptr.astype(np.int64)),
+            _torch.from_numpy(csr.indices.astype(np.int64)),
+            _torch.from_numpy(csr.data),
+            size=csr.shape,
+            device=self.device,
+        )
+        self._sparse_cache[id(matrix)] = tensor
+        return tensor
+
+    def spmm(self, sparse, dense):
+        return _torch.matmul(sparse, dense)

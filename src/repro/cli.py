@@ -22,10 +22,10 @@ Commands
     Inspect (``ls``), delete (``clear``), or sweep orphaned staging
     litter out of (``gc``) the run cache.
 ``lint``
-    Run the repo-invariant static analyzer (rules R001–R006: global RNG,
+    Run the repo-invariant static analyzer (rules R001–R007: global RNG,
     wallclock in keyed paths, run-key coverage, sampler contracts,
-    unordered iteration, blind excepts).  Exit code 1 on any
-    unsuppressed error.
+    unordered iteration, blind excepts, backend-seam purity).  Exit code
+    1 on any unsuppressed error.
 """
 
 from __future__ import annotations
@@ -133,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeline (smaller batches take the scalar path); default is the "
         "trainer's bench-tuned crossover",
     )
+    train.add_argument(
+        "--backend",
+        choices=("numpy", "torch", "torch-cuda"),
+        default="numpy",
+        help="compute backend for the dense kernels; torch variants are "
+        "optional extras (torch-cuda serves scoring/eval only — training "
+        "needs host-shared parameters)",
+    )
+    train.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="parameter/score precision: float64 is the bitwise-exact "
+        "reference, float32 is the fast mode (statistically equivalent)",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper artifact"
@@ -232,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint", help="check the tree against the repo's determinism/"
-        "cache-key/sampler/robustness invariants (R001–R006)"
+        "cache-key/sampler/robustness invariants (R001–R007)"
     )
     lint.add_argument(
         "paths",
@@ -340,6 +355,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         cdf=args.cdf,
         batched_sampling_min_batch=args.min_batch,
+        backend=args.backend,
+        dtype=args.dtype,
     )
     result = run_spec(spec)
     print(f"run: {spec.label()} (epochs={spec.epochs}, lr={spec.lr})")

@@ -1,0 +1,305 @@
+"""Zero-copy dataset sharing for the process pool.
+
+A grid over one dataset used to pay the full generate/split/CSR-build
+cost once *per worker*: every pool process rebuilt the
+:class:`~repro.data.interactions.InteractionMatrix` pair from the spec.
+This module exports a built :class:`~repro.data.dataset.ImplicitDataset`
+into ``multiprocessing.shared_memory`` segments **once per grid** —
+train/test CSR index arrays plus the popularity/activity tables — and
+lets workers attach the same physical pages zero-copy.
+
+Protocol
+--------
+* The parent builds the dataset, calls :func:`export_dataset`, and ships
+  the returned export's :class:`SharedDatasetHandle` (plain picklable
+  metadata: segment names, shapes, dtypes) to the pool initializer.
+* Workers call :func:`attach_dataset`, which maps the segments read-only
+  into numpy views and assembles the dataset through the *trusted*
+  constructors (:meth:`InteractionMatrix.from_canonical_csr`,
+  ``ImplicitDataset(validate=False)``) — no O(nnz) rebuild, no
+  re-validation of invariants the parent already enforced.
+* The parent owns the segment lifetime: :meth:`SharedDatasetExport.destroy`
+  unlinks after the grid drains.  Workers deliberately *unregister* their
+  attachments from the ``resource_tracker`` so a worker exit (including a
+  crash) never tears down segments other workers still map; a tolerated
+  ``FileNotFoundError`` on unlink keeps parent cleanup idempotent even if
+  something else already removed a segment.
+
+Attached arrays are marked read-only: the interaction matrices are
+immutable by contract, and with shared pages a stray write in one worker
+would corrupt every other worker's dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedMatrixHandle",
+    "SharedDatasetHandle",
+    "SharedDatasetExport",
+    "export_dataset",
+    "attach_dataset",
+]
+
+_LOGGER = get_logger("data.shared")
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable description of one exported array: where and what."""
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """The four arrays that reconstruct one canonical interaction matrix."""
+
+    n_users: int
+    n_items: int
+    indptr: SharedArraySpec
+    indices: SharedArraySpec
+    item_popularity: SharedArraySpec
+    user_activity: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Everything a worker needs to attach one exported dataset.
+
+    ``cache_name``/``cache_seed`` are the parent-side registry identity —
+    the ``(name, seed)`` key under which workers pre-seed their dataset
+    memo, so ``load_dataset_cached`` hits shared pages instead of
+    rebuilding.  ``dataset_name`` is the dataset's own display name
+    (e.g. ``"synthetic:tiny"``), which may differ from the registry key.
+    ``tracker_pid`` identifies the exporter's ``resource_tracker`` — see
+    :func:`attach_dataset` for why attachers must know whether they share
+    it.
+    """
+
+    cache_name: str
+    cache_seed: int
+    dataset_name: str
+    train: SharedMatrixHandle
+    test: SharedMatrixHandle
+    occupations: Optional[SharedArraySpec]
+    occupation_names: Optional[tuple]
+    tracker_pid: Optional[int] = None
+
+
+def _current_tracker_pid() -> Optional[int]:
+    """Pid of this process's ``resource_tracker`` helper (started if needed).
+
+    ``None`` when the tracker cannot be introspected (non-POSIX layouts);
+    callers must then assume the pessimistic case.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        return resource_tracker._resource_tracker._pid
+    except Exception:  # pragma: no cover - tracker internals vary
+        return None
+
+
+def _export_array(
+    array: np.ndarray, segments: List[shared_memory.SharedMemory]
+) -> SharedArraySpec:
+    """Copy one array into a fresh shared segment (parent side)."""
+    array = np.ascontiguousarray(array)
+    shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+    segments.append(shm)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return SharedArraySpec(
+        segment=shm.name, shape=tuple(array.shape), dtype=array.dtype.str
+    )
+
+
+def _export_matrix(
+    matrix: InteractionMatrix, segments: List[shared_memory.SharedMemory]
+) -> SharedMatrixHandle:
+    return SharedMatrixHandle(
+        n_users=matrix.n_users,
+        n_items=matrix.n_items,
+        indptr=_export_array(matrix.indptr, segments),
+        indices=_export_array(matrix.indices, segments),
+        item_popularity=_export_array(matrix.item_popularity, segments),
+        user_activity=_export_array(matrix.user_activity, segments),
+    )
+
+
+class SharedDatasetExport:
+    """Parent-side owner of one exported dataset's segments.
+
+    Holds the live ``SharedMemory`` objects (the handle alone carries only
+    names) and the unlink responsibility.  :meth:`destroy` is idempotent
+    and tolerant: a segment already gone (e.g. an external cleaner) is
+    skipped, never an error — cleanup must not mask the grid's outcome.
+    """
+
+    def __init__(
+        self,
+        handle: SharedDatasetHandle,
+        segments: List[shared_memory.SharedMemory],
+    ) -> None:
+        self.handle = handle
+        self._segments = segments
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of the owned segments (diagnostics and leak tests)."""
+        return tuple(shm.name for shm in self._segments)
+
+    def destroy(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def export_dataset(
+    dataset: ImplicitDataset, *, cache_name: str, cache_seed: int
+) -> SharedDatasetExport:
+    """Export a built dataset into shared memory (parent side).
+
+    On any failure, segments created so far are unlinked before the
+    exception propagates — a half-export must not leak.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        occupations = dataset.user_occupations
+        handle = SharedDatasetHandle(
+            cache_name=str(cache_name),
+            cache_seed=int(cache_seed),
+            dataset_name=dataset.name,
+            train=_export_matrix(dataset.train, segments),
+            test=_export_matrix(dataset.test, segments),
+            occupations=(
+                _export_array(occupations, segments)
+                if occupations is not None
+                else None
+            ),
+            occupation_names=dataset.occupation_names,
+            tracker_pid=_current_tracker_pid(),
+        )
+    except BaseException:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        raise
+    return SharedDatasetExport(handle, segments)
+
+
+def _attach_array(
+    spec: SharedArraySpec,
+    segments: List[shared_memory.SharedMemory],
+    foreign_tracker: bool,
+) -> np.ndarray:
+    """Map one exported array as a read-only view (worker side)."""
+    shm = shared_memory.SharedMemory(name=spec.segment)
+    if foreign_tracker:
+        # Attaching registered this segment with *this process's own*
+        # resource_tracker, which would unlink it when this process exits
+        # — destroying pages the parent and sibling workers still map.
+        # The parent owns the unlink; take ourselves out of the books.
+        # (When the tracker is shared with the exporter — fork start
+        # method — registration was an idempotent no-op and unregistering
+        # would instead strip the *parent's* leak protection.)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    segments.append(shm)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return view
+
+
+def _attach_matrix(
+    handle: SharedMatrixHandle,
+    segments: List[shared_memory.SharedMemory],
+    foreign_tracker: bool,
+) -> InteractionMatrix:
+    return InteractionMatrix.from_canonical_csr(
+        handle.n_users,
+        handle.n_items,
+        indptr=_attach_array(handle.indptr, segments, foreign_tracker),
+        indices=_attach_array(handle.indices, segments, foreign_tracker),
+        item_popularity=_attach_array(
+            handle.item_popularity, segments, foreign_tracker
+        ),
+        user_activity=_attach_array(
+            handle.user_activity, segments, foreign_tracker
+        ),
+    )
+
+
+def attach_dataset(
+    handle: SharedDatasetHandle,
+) -> Tuple[ImplicitDataset, List[shared_memory.SharedMemory]]:
+    """Attach an exported dataset zero-copy (worker side).
+
+    Returns the dataset plus the live ``SharedMemory`` objects backing
+    its arrays — the caller must keep those references alive as long as
+    the dataset is in use (the arrays alias their buffers).
+
+    Resource-tracker semantics depend on the start method: under fork the
+    attacher shares the exporter's tracker (attachment registration is a
+    no-op and must stay), while under spawn/forkserver-with-own-tracker
+    the attacher's private tracker would destroy the segments on worker
+    exit — those registrations are removed.  The decision is made by
+    comparing tracker pids; an undecidable comparison assumes the
+    pessimistic (private-tracker) case, trading possible stderr noise for
+    never losing live segments mid-grid.
+    """
+    foreign_tracker = (
+        handle.tracker_pid is None
+        or _current_tracker_pid() != handle.tracker_pid
+    )
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        train = _attach_matrix(handle.train, segments, foreign_tracker)
+        test = _attach_matrix(handle.test, segments, foreign_tracker)
+        occupations = (
+            _attach_array(handle.occupations, segments, foreign_tracker)
+            if handle.occupations is not None
+            else None
+        )
+        dataset = ImplicitDataset(
+            train,
+            test,
+            name=handle.dataset_name,
+            user_occupations=occupations,
+            occupation_names=handle.occupation_names,
+            validate=False,
+        )
+    except BaseException:
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort detach
+                pass
+        raise
+    return dataset, segments

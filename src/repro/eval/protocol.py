@@ -69,7 +69,7 @@ DEFAULT_EVAL_CHUNK = 256
 
 
 def score_block(model, users: np.ndarray) -> np.ndarray:
-    """A writable float64 ``(len(users), n_items)`` score block.
+    """A writable float ``(len(users), n_items)`` score block.
 
     Uses the model's ``scores_batch`` when present (one matmul for real
     models); otherwise stacks per-user ``scores`` calls so any object with
@@ -79,11 +79,17 @@ def score_block(model, users: np.ndarray) -> np.ndarray:
     ``scores_batch`` returns a freshly allocated block on every call, so
     no copy is taken unless a dtype conversion (or a read-only return)
     forces one.
+
+    The block keeps the model's dtype policy (float32 models evaluate at
+    float32 — same rankings, half the memory traffic); anything that is
+    not already a float array is upcast to float64 as before.
     """
     users = np.asarray(users, dtype=np.int64).ravel()
     batch_fn = getattr(model, "scores_batch", None)
     if batch_fn is not None:
-        block = np.asarray(batch_fn(users), dtype=np.float64)
+        block = np.asarray(batch_fn(users))
+        if block.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            block = block.astype(np.float64)
         if not block.flags.writeable:
             block = block.copy()
     else:
@@ -110,12 +116,17 @@ def _iter_ranked_chunks(model, dataset, users, k, chunk_users):
     masking and tie semantics live in exactly one place.
     """
     train, test = dataset.train, dataset.test
+    # Ranking goes through the model's backend seam when it has one;
+    # every backend delegates to the same canonical host kernel, so this
+    # changes *where* the top-K runs, never which lists come back.
+    backend = getattr(model, "backend", None)
+    rank = backend.topk if backend is not None else top_k_items_batch
     for start in range(0, users.size, chunk_users):
         chunk = users[start : start + chunk_users]
         block = score_block(model, chunk)
         rows, cols = train.positives_in_rows(chunk)
         block[rows, cols] = -np.inf
-        ranked, _ = top_k_items_batch(block, k)
+        ranked, _ = rank(block, k)
         hits = test.hits_in_rows(chunk, ranked)
         yield chunk, block, rows, cols, ranked, hits
 

@@ -87,10 +87,17 @@ def _check_block(
     Returns ``(block, early_result)`` where ``early_result`` is the
     degenerate answer for empty blocks (no rows, or ``width == 0``) and
     ``None`` when the caller should run the real kernel.
+
+    Float score blocks keep their dtype (the float32 fast path ranks at
+    float32 — rankings depend only on comparisons, so the canonical rule
+    holds at any precision); non-float inputs are upcast to float64
+    exactly as before.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    masked = np.asarray(masked, dtype=np.float64)
+    masked = np.asarray(masked)
+    if masked.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+        masked = masked.astype(np.float64)
     if masked.ndim != 2:
         raise ValueError(f"score block must be 2-D, got {masked.ndim}-D")
     n_rows, n_items = masked.shape

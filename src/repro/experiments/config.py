@@ -89,6 +89,14 @@ class RunSpec:
     #: scalar-fallback threshold of the sampling pipeline); ``None`` keeps
     #: the trainer default.
     batched_sampling_min_batch: Optional[int] = None
+    #: Compute backend for the run's dense kernels (``"numpy"``,
+    #: ``"torch"``, ``"torch-cuda"`` — see :mod:`repro.backend`).  Part of
+    #: the run key: backends other than numpy are statistically, not
+    #: bitwise, equivalent.
+    backend: str = "numpy"
+    #: Parameter/score dtype policy: ``"float64"`` (exact, the default)
+    #: or ``"float32"`` (fast — statistically equivalent numerics).
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         check_positive(self.epochs, "epochs")
@@ -102,6 +110,19 @@ class RunSpec:
             )
         if self.model not in ("mf", "lightgcn"):
             raise ValueError(f"model must be 'mf' or 'lightgcn', got {self.model!r}")
+        # Validate names only — availability (torch installed, CUDA
+        # usable) is checked at model construction, so specs for other
+        # machines' backends remain constructible and addressable here.
+        from repro.backend import BACKEND_NAMES, DTYPE_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.dtype not in DTYPE_NAMES:
+            raise ValueError(
+                f"dtype must be one of {DTYPE_NAMES}, got {self.dtype!r}"
+            )
 
     @property
     def sampler_options(self) -> dict:

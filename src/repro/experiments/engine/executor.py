@@ -32,12 +32,23 @@ sequential artifact loops got by passing one dataset object around.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _PoolImpl
 from concurrent.futures import as_completed
-from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -56,6 +67,7 @@ __all__ = [
     "SequentialExecutor",
     "ProcessPoolRunExecutor",
     "DEFAULT_RETRY_POLICY",
+    "WORKER_BLAS_THREADS_ENV",
 ]
 
 _LOGGER = get_logger("experiments.engine.executor")
@@ -74,6 +86,60 @@ DEFAULT_RETRY_POLICY = RetryPolicy(
 #: Per-process dataset memo: (dataset name, dataset seed) → ImplicitDataset.
 _DATASET_CACHE: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
 _DATASET_CACHE_MAX = 4
+
+#: Env knob: BLAS/OpenMP threads per pool worker (default ``1``).  The
+#: pool's workers *are* the parallelism — letting each worker's BLAS also
+#: fan out ``n_cores`` threads oversubscribes the machine ``workers ×
+#: cores`` and thrashes.  Raise it for grids with few jobs and large
+#: gemms.
+WORKER_BLAS_THREADS_ENV = "REPRO_WORKER_BLAS_THREADS"
+
+#: The thread-count variables every mainstream BLAS/OpenMP honors.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+#: Worker-side anchors for attached shared-memory segments: the numpy
+#: views in the dataset cache alias these buffers, so the ``SharedMemory``
+#: objects must stay referenced for the worker's lifetime.
+_WORKER_SHM_SEGMENTS: List[object] = []
+
+
+def _pool_worker_init(handles: Sequence[object], blas_threads: int) -> None:
+    """Pool-worker initializer: cap BLAS threads, attach shared datasets.
+
+    The env vars take effect for BLAS thread pools not yet spun up —
+    reliable under the spawn start method; under fork a parent that
+    already ran large gemms may have an OpenBLAS pool pinned at its own
+    size (documented caveat on :class:`ProcessPoolRunExecutor`).
+
+    Attached datasets pre-seed :data:`_DATASET_CACHE`, so
+    :func:`load_dataset_cached` in this worker returns the shared-memory
+    view instead of rebuilding from the spec.  Attachment failure is not
+    fatal: the worker logs and falls back to rebuilding on demand — the
+    grid's outputs do not depend on how the dataset pages got here.
+    """
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = str(int(blas_threads))
+    from repro.data.shared import attach_dataset
+
+    for handle in handles:
+        try:
+            dataset, segments = attach_dataset(handle)
+        except Exception as error:
+            _LOGGER.warning(
+                "could not attach shared dataset %s (seed %s): %s; "
+                "worker will rebuild it from the spec",
+                getattr(handle, "cache_name", "?"),
+                getattr(handle, "cache_seed", "?"),
+                error,
+            )
+            continue
+        _WORKER_SHM_SEGMENTS.extend(segments)
+        _DATASET_CACHE[(handle.cache_name, handle.cache_seed)] = dataset
 
 
 def load_dataset_cached(name: str, seed: int):
@@ -302,6 +368,21 @@ class ProcessPoolRunExecutor:
     * a dead worker (``BrokenProcessPool``) rebuilds the pool and
       resubmits every job that had not completed, charging each one
       attempt; completed payloads are never lost or recomputed.
+
+    Worker resource shaping:
+
+    * each worker's BLAS/OpenMP thread count is capped (default 1, env
+      knob ``REPRO_WORKER_BLAS_THREADS``) so ``workers`` processes do not
+      each fan out ``n_cores`` BLAS threads.  The cap is set in the
+      worker initializer before any worker-side numpy work; under the
+      fork start method a BLAS pool the *parent* already spun up is
+      inherited as-is (spawn gives the strict guarantee);
+    * unless ``share_datasets=False``, the grid's datasets are built once
+      in the parent, exported to ``multiprocessing.shared_memory``, and
+      attached zero-copy by every worker (including the workers of a
+      rebuilt pool) — killing the per-worker dataset rebuild.  Export or
+      attach failure degrades gracefully to the old rebuild-per-worker
+      behavior; payload bytes are identical either way.
     """
 
     kind = "process-pool"
@@ -314,6 +395,7 @@ class ProcessPoolRunExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         sleeper: Callable[[float], None] = time.sleep,
+        share_datasets: bool = True,
     ) -> None:
         check_positive(workers, "workers")
         self.workers = int(workers)
@@ -321,10 +403,61 @@ class ProcessPoolRunExecutor:
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.fault_plan = fault_plan
         self._sleeper = sleeper
+        self.share_datasets = bool(share_datasets)
         #: key → recovered failure count of the most recent :meth:`run`.
         self.retry_counts: Dict[str, int] = {}
         #: Pools rebuilt during the most recent :meth:`run`.
         self.pool_rebuilds = 0
+        #: Handles shipped to the current run's pool initializer.
+        self._shared_handles: List[object] = []
+
+    @property
+    def worker_blas_threads(self) -> int:
+        """BLAS threads each worker may use (``REPRO_WORKER_BLAS_THREADS``)."""
+        raw = os.environ.get(WORKER_BLAS_THREADS_ENV, "1")
+        try:
+            threads = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKER_BLAS_THREADS_ENV} must be a positive integer, "
+                f"got {raw!r}"
+            ) from None
+        check_positive(threads, WORKER_BLAS_THREADS_ENV)
+        return threads
+
+    def _export_datasets(self, jobs: Sequence[Job]) -> List[object]:
+        """Export each distinct (dataset, seed) of ``jobs`` to shared memory.
+
+        Returns the live exports (the caller owns ``destroy()``); an empty
+        list when sharing is disabled or export failed — workers then
+        rebuild datasets themselves, exactly the pre-sharing behavior.
+        """
+        if not self.share_datasets:
+            return []
+        wanted = []
+        for job in jobs:
+            key = (job.request.spec.dataset, job.request.resolved_dataset_seed)
+            if key not in wanted:
+                wanted.append(key)
+        from repro.data.shared import export_dataset
+
+        exports: List[object] = []
+        try:
+            for name, seed in wanted:
+                dataset = load_dataset_cached(name, seed)
+                exports.append(
+                    export_dataset(dataset, cache_name=name, cache_seed=seed)
+                )
+        except Exception as error:
+            _LOGGER.warning(
+                "shared-memory dataset export failed (%s); workers will "
+                "rebuild datasets from their specs",
+                error,
+            )
+            for export in exports:
+                export.destroy()
+            return []
+        return exports
 
     def _new_pool(self, n_jobs: int) -> _PoolImpl:
         context = None
@@ -333,7 +466,12 @@ class ProcessPoolRunExecutor:
 
             context = multiprocessing.get_context(self.mp_context)
         max_workers = min(self.workers, max(n_jobs, 1))
-        return _PoolImpl(max_workers=max_workers, mp_context=context)
+        return _PoolImpl(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=_pool_worker_init,
+            initargs=(tuple(self._shared_handles), self.worker_blas_threads),
+        )
 
     def run(
         self,
@@ -348,6 +486,8 @@ class ProcessPoolRunExecutor:
         # Insertion-ordered: resubmission order is a function of the job
         # list, not of scheduling.
         pending: Dict[str, Job] = {job.key: job for job in jobs}
+        exports = self._export_datasets(jobs)
+        self._shared_handles = [export.handle for export in exports]
         pool = self._new_pool(len(pending))
         try:
             while pending:
@@ -424,3 +564,6 @@ class ProcessPoolRunExecutor:
                     self._sleeper(max(retry_backoffs.values()))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+            self._shared_handles = []
+            for export in exports:
+                export.destroy()

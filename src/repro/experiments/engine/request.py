@@ -30,8 +30,9 @@ __all__ = [
 
 #: Bump whenever the request canonicalization or the payload schema
 #: changes; old cache entries become unreachable (new keys + new store
-#: subdirectory) rather than silently mis-read.
-CACHE_FORMAT_VERSION = 1
+#: subdirectory) rather than silently mis-read.  v2: ``RunSpec`` grew
+#: ``backend``/``dtype`` (the compute-backend seam).
+CACHE_FORMAT_VERSION = 2
 
 #: Run-key coverage manifests — the introspection hook for ``repro lint``
 #: rule R003 and for :func:`_check_key_coverage` below.  Every dataclass
@@ -54,6 +55,8 @@ KEYED_SPEC_FIELDS: Tuple[str, ...] = (
     "ks",
     "cdf",
     "batched_sampling_min_batch",
+    "backend",
+    "dtype",
 )
 KEYED_REQUEST_FIELDS: Tuple[str, ...] = (
     "spec",

@@ -10,10 +10,11 @@ wrapper around a learned model from elsewhere) can be dropped in.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, resolve_dtype
 from repro.train.optimizer import Optimizer
 
 __all__ = ["ScoreModel"]
@@ -27,13 +28,61 @@ DEFAULT_SCORE_CHUNK = 1024
 
 
 class ScoreModel(ABC):
-    """Abstract pairwise-trainable scoring model."""
+    """Abstract pairwise-trainable scoring model.
+
+    Concrete models route their dense kernels through an
+    :class:`~repro.backend.ArrayBackend` at a policy dtype (``float64``
+    exact / ``float32`` fast) — see :meth:`_init_backend`.  Third-party
+    subclasses that never call it behave exactly as before: the
+    :attr:`backend` default is the numpy backend and :attr:`dtype` is
+    ``float64``.
+    """
 
     #: Matrix shape; set by concrete constructors.
     n_users: int
     n_items: int
     #: Embedding dimensionality.
     n_factors: int
+
+    # ------------------------------------------------------------------ #
+    # Backend / dtype policy
+    # ------------------------------------------------------------------ #
+
+    def _init_backend(
+        self,
+        backend: Union[str, ArrayBackend, None],
+        dtype,
+    ) -> None:
+        """Resolve and pin this model's compute backend and policy dtype.
+
+        Called by concrete constructors before any parameter table is
+        allocated; tables are created at :attr:`dtype` and transferred
+        through ``backend.from_numpy`` (the RNG bridge — init draws stay
+        on the host generator, so every backend starts from the same
+        numbers).
+        """
+        self._backend = get_backend(backend)
+        self._dtype = resolve_dtype(dtype)
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The model's compute backend (numpy unless configured)."""
+        return getattr(self, "_backend", None) or get_backend(None)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The model's parameter/score dtype policy."""
+        return getattr(self, "_dtype", None) or np.dtype(np.float64)
+
+    def _check_trainable_backend(self) -> None:
+        """Reject ``train_step`` on backends without host-shared params."""
+        backend = self.backend
+        if not backend.shares_host_memory:
+            raise RuntimeError(
+                f"cannot train on backend {backend.name!r}: parameters are "
+                "device-resident; train with 'numpy' or 'torch' (CPU) and "
+                "use this backend for scoring/eval/serving"
+            )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -70,7 +119,7 @@ class ScoreModel(ABC):
         """
         users = np.asarray(users, dtype=np.int64).ravel()
         if users.size == 0:
-            return np.empty((0, self.n_items), dtype=np.float64)
+            return np.empty((0, self.n_items), dtype=self.dtype)
         return np.stack([self.scores(int(u)) for u in users])
 
     def score_items_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
@@ -88,7 +137,7 @@ class ScoreModel(ABC):
         """
         users, items = self._check_user_item_rows(users, items)
         if items.size == 0:
-            return np.empty(items.shape, dtype=np.float64)
+            return np.empty(items.shape, dtype=self.dtype)
         flat_users = np.repeat(users, items.shape[1])
         return self.score_pairs(flat_users, items.ravel()).reshape(items.shape)
 
@@ -151,7 +200,7 @@ class ScoreModel(ABC):
         if len(blocks) == 1:
             return blocks[0]
         if not blocks:
-            return np.empty((0, self.n_items), dtype=np.float64)
+            return np.empty((0, self.n_items), dtype=self.dtype)
         return np.concatenate(blocks, axis=0)
 
     # ------------------------------------------------------------------ #

@@ -12,6 +12,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.backend import dtype_name, get_backend, resolve_dtype
 from repro.data.interactions import InteractionMatrix
 from repro.models.biased_mf import BiasedMatrixFactorization
 from repro.models.lightgcn import LightGCN
@@ -21,7 +22,18 @@ __all__ = ["save_model", "load_model"]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+#: v2 adds ``dtype``/``backend`` metadata so precision/backend mismatches
+#: fail at load time instead of silently changing serving numerics.
+#: v1 archives (no metadata) load as float64/numpy — what v1 always was.
+_FORMAT_VERSION = 2
+
+
+def _model_meta(model) -> dict:
+    """The dtype/backend provenance header written with every model."""
+    return {
+        "dtype": dtype_name(getattr(model, "dtype", np.float64)),
+        "backend": getattr(getattr(model, "backend", None), "name", "numpy"),
+    }
 
 
 def save_model(model, path: PathLike) -> None:
@@ -34,6 +46,7 @@ def save_model(model, path: PathLike) -> None:
             version=_FORMAT_VERSION,
             user_factors=model.user_factors,
             item_factors=model.item_factors,
+            **_model_meta(model),
         )
     elif isinstance(model, BiasedMatrixFactorization):
         np.savez(
@@ -43,6 +56,7 @@ def save_model(model, path: PathLike) -> None:
             user_factors=model.user_factors,
             item_factors=model.item_factors,
             item_bias=model.item_bias,
+            **_model_meta(model),
         )
     elif isinstance(model, LightGCN):
         users, items = _graph_pairs(model)
@@ -56,6 +70,7 @@ def save_model(model, path: PathLike) -> None:
             n_layers=model.n_layers,
             graph_users=users,
             graph_items=items,
+            **_model_meta(model),
         )
     else:
         raise TypeError(f"cannot persist model of type {type(model).__name__}")
@@ -92,13 +107,35 @@ def _check_array(
     return array
 
 
-def load_model(path: PathLike):
+def _checkpoint_dtype(archive, path: Path) -> np.dtype:
+    """The archive's recorded dtype policy (v1 archives default float64)."""
+    if "dtype" not in archive:
+        return np.dtype(np.float64)
+    recorded = str(archive["dtype"])
+    try:
+        return resolve_dtype(recorded)
+    except ValueError:
+        raise ValueError(
+            f"{path}: checkpoint records unsupported dtype {recorded!r}"
+        ) from None
+
+
+def load_model(path: PathLike, *, dtype=None, backend=None):
     """Load a model previously written by :func:`save_model`.
 
     Parameter arrays are validated (rank, dtype, cross-array shape
     consistency) before any model is constructed; a corrupted or
     hand-edited archive fails with an error naming the file and the
     offending array instead of surfacing later as a numerics bug.
+
+    ``dtype`` asserts the caller's precision expectation: loading a
+    float32 checkpoint into a pipeline that demands float64 (or vice
+    versa) raises instead of silently warm-starting at the wrong
+    precision.  ``None`` accepts whatever the checkpoint records (v1
+    archives: float64).  ``backend`` constructs the model on a specific
+    compute backend (default: the checkpoint is host/numpy — the
+    recorded backend name is provenance, not a load requirement, since
+    parameters are stored device-agnostic).
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -109,22 +146,38 @@ def load_model(path: PathLike):
                 f"{path}: format version {version} is newer than supported "
                 f"({_FORMAT_VERSION})"
             )
+        stored = _checkpoint_dtype(archive, path)
+        if dtype is not None and resolve_dtype(dtype) != stored:
+            raise ValueError(
+                f"{path}: checkpoint holds {stored.name} parameters but "
+                f"{resolve_dtype(dtype).name} was requested; retrain or "
+                "load with the matching dtype policy"
+            )
+        backend = get_backend(backend)
         if kind == "mf":
-            return _load_mf(archive, path)
+            return _load_mf(archive, path, stored, backend)
         if kind == "biased_mf":
-            return _load_biased_mf(archive, path)
+            return _load_biased_mf(archive, path, stored, backend)
         if kind == "lightgcn":
-            return _load_lightgcn(archive, path)
+            return _load_lightgcn(archive, path, stored, backend)
     raise ValueError(f"{path}: unknown model kind {kind!r}")
 
 
-def _load_factors(archive, path: Path):
+def _load_factors(archive, path: Path, dtype):
     """The validated, mutually consistent MF-family factor matrices."""
     user_factors = _check_array(
-        path, "user_factors", _required(archive, path, "user_factors"), ndim=2
+        path,
+        "user_factors",
+        _required(archive, path, "user_factors"),
+        ndim=2,
+        dtype=dtype,
     )
     item_factors = _check_array(
-        path, "item_factors", _required(archive, path, "item_factors"), ndim=2
+        path,
+        "item_factors",
+        _required(archive, path, "item_factors"),
+        ndim=2,
+        dtype=dtype,
     )
     if user_factors.shape[1] != item_factors.shape[1]:
         raise ValueError(
@@ -134,20 +187,32 @@ def _load_factors(archive, path: Path):
     return user_factors, item_factors
 
 
-def _load_mf(archive, path: Path) -> MatrixFactorization:
-    user_factors, item_factors = _load_factors(archive, path)
+def _load_mf(archive, path: Path, dtype, backend) -> MatrixFactorization:
+    user_factors, item_factors = _load_factors(archive, path, dtype)
     model = MatrixFactorization(
-        user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
+        user_factors.shape[0],
+        item_factors.shape[0],
+        user_factors.shape[1],
+        seed=0,
+        dtype=dtype,
+        backend=backend,
     )
     model.user_factors[:] = user_factors
     model.item_factors[:] = item_factors
+    model.sync_backend()
     return model
 
 
-def _load_biased_mf(archive, path: Path) -> BiasedMatrixFactorization:
-    user_factors, item_factors = _load_factors(archive, path)
+def _load_biased_mf(
+    archive, path: Path, dtype, backend
+) -> BiasedMatrixFactorization:
+    user_factors, item_factors = _load_factors(archive, path, dtype)
     item_bias = _check_array(
-        path, "item_bias", _required(archive, path, "item_bias"), ndim=1
+        path,
+        "item_bias",
+        _required(archive, path, "item_bias"),
+        ndim=1,
+        dtype=dtype,
     )
     if item_bias.shape[0] != item_factors.shape[0]:
         raise ValueError(
@@ -155,20 +220,27 @@ def _load_biased_mf(archive, path: Path) -> BiasedMatrixFactorization:
             f"{item_factors.shape[0]} items"
         )
     model = BiasedMatrixFactorization(
-        user_factors.shape[0], item_factors.shape[0], user_factors.shape[1], seed=0
+        user_factors.shape[0],
+        item_factors.shape[0],
+        user_factors.shape[1],
+        seed=0,
+        dtype=dtype,
+        backend=backend,
     )
     model.user_factors[:] = user_factors
     model.item_factors[:] = item_factors
     model.item_bias[:] = item_bias
+    model.sync_backend()
     return model
 
 
-def _load_lightgcn(archive, path: Path) -> LightGCN:
+def _load_lightgcn(archive, path: Path, dtype, backend) -> LightGCN:
     base_embeddings = _check_array(
         path,
         "base_embeddings",
         _required(archive, path, "base_embeddings"),
         ndim=2,
+        dtype=dtype,
     )
     n_users = int(_required(archive, path, "n_users"))
     n_items = int(_required(archive, path, "n_items"))
@@ -197,9 +269,11 @@ def _load_lightgcn(archive, path: Path) -> LightGCN:
         n_factors=int(base_embeddings.shape[1]),
         n_layers=int(_required(archive, path, "n_layers")),
         seed=0,
+        dtype=dtype,
+        backend=backend,
     )
     model.base_embeddings[:] = base_embeddings
-    model.invalidate_cache()
+    model.sync_backend()
     return model
 
 

@@ -238,6 +238,9 @@ class RankingService:
         cls,
         path: Union[str, Path],
         train: Optional[InteractionMatrix] = None,
+        *,
+        dtype=None,
+        backend=None,
         **kwargs,
     ) -> "RankingService":
         """Build a service from a persisted ``model.npz`` checkpoint.
@@ -246,11 +249,16 @@ class RankingService:
         their training graph; MF-family checkpoints carry no
         interactions, so the caller must supply the matrix the model was
         trained on (e.g. from the dataset the engine run used).
+
+        ``dtype`` asserts the serving precision: a float32 checkpoint
+        cannot silently warm-start a float64 serving instance (the load
+        raises instead).  ``backend`` serves the checkpoint on a specific
+        compute backend (e.g. ``"torch"``).
         """
         from repro.models.lightgcn import LightGCN
         from repro.models.persistence import load_model
 
-        model = load_model(path)
+        model = load_model(path, dtype=dtype, backend=backend)
         if train is None:
             if isinstance(model, LightGCN):
                 from repro.models.persistence import _graph_pairs
@@ -502,16 +510,22 @@ class RankingService:
         """Score → mask seen items → canonical top-``width`` for a chunk.
 
         This is, deliberately, the evaluator's exact pipeline
-        (``scores_batch`` + ``positives_in_rows`` + ``top_k_items_batch``)
-        so served lists and offline metrics can never disagree.
+        (``scores_batch`` + ``positives_in_rows`` + the canonical top-K)
+        so served lists and offline metrics can never disagree.  The
+        block keeps the model's dtype policy, and ranking routes through
+        the model's :class:`~repro.backend.ArrayBackend` when it has one
+        (every backend delegates to the same canonical host kernel).
         """
-        block = np.asarray(
-            self.model.scores_batch(users), dtype=np.float64
-        )
+        block = np.asarray(self.model.scores_batch(users))
+        if block.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            block = block.astype(np.float64)
         if not block.flags.writeable:
             block = block.copy()
         rows, cols = self._train.positives_in_rows(users)
         block[rows, cols] = -np.inf
+        backend = getattr(self.model, "backend", None)
+        if backend is not None:
+            return backend.topk(block, width)
         return top_k_items_batch(block, width)
 
     # ------------------------------------------------------------------ #

@@ -9,7 +9,7 @@ from repro.analysis import lint_sources, rule_registry
 from repro.analysis.runner import LintReport, format_json, format_text, lint_paths
 from repro.analysis.suppressions import parse_suppressions
 
-EXPECTED_RULES = {"R001", "R002", "R003", "R004", "R005", "R006"}
+EXPECTED_RULES = {"R001", "R002", "R003", "R004", "R005", "R006", "R007"}
 
 
 class TestRegistry:

@@ -1,0 +1,192 @@
+"""Shared-memory dataset transport: fidelity, lifecycle, crash safety."""
+
+import multiprocessing as mp
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.registry import load_dataset
+from repro.data.shared import (
+    SharedDatasetHandle,
+    attach_dataset,
+    export_dataset,
+)
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("tiny", seed=0)
+
+
+@pytest.fixture()
+def export(dataset):
+    export = export_dataset(dataset, cache_name="tiny", cache_seed=0)
+    yield export
+    export.destroy()
+
+
+class TestCanonicalCsrConstructor:
+    def test_aliases_arrays_and_matches_validated_build(self):
+        rng = make_rng(11)
+        users = rng.integers(9, size=60)
+        items = rng.integers(21, size=60)
+        built = InteractionMatrix(9, 21, users, items)
+        trusted = InteractionMatrix.from_canonical_csr(
+            9,
+            21,
+            indptr=built.indptr,
+            indices=built.indices,
+            item_popularity=built.item_popularity,
+            user_activity=built.user_activity,
+        )
+        assert trusted == built
+        np.testing.assert_array_equal(trusted.indices, built.indices)
+        # Zero-copy: the trusted matrix serves the arrays it was given.
+        assert trusted.indices.base is built.indices.base
+
+    def test_derives_popularity_when_not_given(self):
+        rng = make_rng(12)
+        built = InteractionMatrix(
+            7, 15, rng.integers(7, size=40), rng.integers(15, size=40)
+        )
+        trusted = InteractionMatrix.from_canonical_csr(
+            7, 15, indptr=built.indptr, indices=built.indices
+        )
+        np.testing.assert_array_equal(
+            trusted.item_popularity, built.item_popularity
+        )
+        np.testing.assert_array_equal(
+            trusted.user_activity, built.user_activity
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            InteractionMatrix.from_canonical_csr(
+                3, 5, indptr=np.zeros(2, dtype=np.int64),
+                indices=np.zeros(0, dtype=np.int64),
+            )
+
+
+class TestExportAttachFidelity:
+    def test_attached_dataset_is_equal(self, dataset, export):
+        attached, segments = attach_dataset(export.handle)
+        try:
+            assert attached.name == dataset.name
+            assert attached.train == dataset.train
+            assert attached.test == dataset.test
+            np.testing.assert_array_equal(
+                attached.train.item_popularity,
+                dataset.train.item_popularity,
+            )
+            if dataset.has_occupations:
+                np.testing.assert_array_equal(
+                    attached.user_occupations, dataset.user_occupations
+                )
+            assert attached.occupation_names == dataset.occupation_names
+        finally:
+            for shm in segments:
+                shm.close()
+
+    def test_handle_is_picklable(self, export):
+        handle = pickle.loads(pickle.dumps(export.handle))
+        assert isinstance(handle, SharedDatasetHandle)
+        attached, segments = attach_dataset(handle)
+        try:
+            assert attached.train.n_interactions > 0
+        finally:
+            for shm in segments:
+                shm.close()
+
+    def test_attached_arrays_are_read_only(self, export):
+        attached, segments = attach_dataset(export.handle)
+        try:
+            view = attached.train.indices
+            with pytest.raises(ValueError):
+                view.base[0] = 99
+        finally:
+            for shm in segments:
+                shm.close()
+
+    def test_sampling_hot_paths_work_on_attached_matrix(self, export):
+        attached, segments = attach_dataset(export.handle)
+        try:
+            rng = make_rng(3)
+            train = attached.train
+            assert train.uniform_negatives(0, 4, rng).shape == (4,)
+            assert train.sample_negatives_rows(
+                np.arange(5), rng
+            ).shape == (5,)
+            table, counts = train.negative_table()
+            assert table.shape[0] == train.n_users
+            rows, cols = train.positives_in_rows(np.arange(4))
+            assert rows.size == cols.size
+        finally:
+            for shm in segments:
+                shm.close()
+
+
+class TestLifecycle:
+    def test_destroy_unlinks_and_is_idempotent(self, dataset):
+        export = export_dataset(dataset, cache_name="tiny", cache_seed=0)
+        handle = export.handle
+        export.destroy()
+        export.destroy()
+        with pytest.raises(FileNotFoundError):
+            attach_dataset(handle)
+
+    def test_failed_export_leaks_nothing(self, dataset, monkeypatch):
+        import repro.data.shared as shared
+
+        real = shared._export_array
+        created = []
+        calls = {"n": 0}
+
+        def failing(array, segments):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise OSError("synthetic exhaustion")
+            spec = real(array, segments)
+            created.append(spec.segment)
+            return spec
+
+        monkeypatch.setattr(shared, "_export_array", failing)
+        with pytest.raises(OSError, match="synthetic exhaustion"):
+            export_dataset(dataset, cache_name="tiny", cache_seed=0)
+        from multiprocessing import shared_memory
+
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_segments_survive_worker_exit(self, export):
+        # A pool worker attaching and then dying must not tear down the
+        # segments other workers (and the parent) still map.
+        ctx = mp.get_context("spawn")
+        proc = ctx.Process(target=_attach_and_exit, args=(export.handle,))
+        proc.start()
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+        attached, segments = attach_dataset(export.handle)
+        try:
+            assert attached.train.n_interactions > 0
+        finally:
+            for shm in segments:
+                shm.close()
+
+
+def _attach_and_exit(handle):
+    dataset, segments = attach_dataset(handle)
+    assert dataset.train.n_interactions > 0
+
+
+class TestTrustedDatasetPath:
+    def test_validate_false_skips_disjointness(self):
+        overlap = InteractionMatrix(4, 6, [0, 1], [1, 2])
+        with pytest.raises(ValueError, match="disjoint"):
+            ImplicitDataset(overlap, overlap)
+        trusted = ImplicitDataset(overlap, overlap, validate=False)
+        assert trusted.train is overlap
